@@ -1,0 +1,131 @@
+(* Benchmark entry point.
+
+   Usage:  dune exec bench/main.exe -- [target ...] [--quick] [--verbose]
+
+   Targets (default: all)
+     fig1-list fig1-skiplist fig2-queue fig2-hash fig3-aborts fig4-splits
+     fig5-slowpath scan-behavior ablations crash latency memory stm micro all
+
+   Each paper table/figure is regenerated two ways:
+   - the harness prints the full series exactly as the paper reports it
+     (thread sweeps, scheme columns) — these are the numbers recorded in
+     EXPERIMENTS.md;
+   - a Bechamel [Test.make] per figure runs a small representative
+     configuration under the statistics engine (one simulated experiment
+     per iteration), giving a regression-trackable wall-clock cost for each
+     experiment family. *)
+
+open St_harness
+
+let targets = ref []
+let quick = ref false
+let verbose = ref false
+
+let parse_args () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | "--full" -> quick := false
+        | "--verbose" -> verbose := true
+        | t -> targets := t :: !targets)
+    Sys.argv;
+  if !targets = [] then targets := [ "all" ]
+
+let want t = List.mem t !targets || List.mem "all" !targets
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per figure family           *)
+(* ------------------------------------------------------------------ *)
+
+let mini_cfg structure scheme =
+  {
+    Experiment.default_config with
+    structure;
+    scheme;
+    threads = 4;
+    duration = 60_000;
+    key_range = 256;
+    init_size = 128;
+  }
+
+let bench_experiment name cfg =
+  Bechamel.Test.make ~name
+    (Bechamel.Staged.stage (fun () -> ignore (Experiment.run cfg)))
+
+let micro_tests () =
+  let open Experiment in
+  Bechamel.Test.make_grouped ~name:"figures"
+    [
+      bench_experiment "fig1a-list-stacktrack"
+        (mini_cfg List_s stacktrack_default);
+      bench_experiment "fig1a-list-hazards" (mini_cfg List_s Hazards);
+      bench_experiment "fig1a-list-epoch" (mini_cfg List_s Epoch);
+      bench_experiment "fig1a-list-dta" (mini_cfg List_s Dta);
+      bench_experiment "fig1b-skiplist-stacktrack"
+        (mini_cfg Skiplist_s stacktrack_default);
+      bench_experiment "fig2a-queue-stacktrack"
+        (mini_cfg Queue_s stacktrack_default);
+      bench_experiment "fig2b-hash-stacktrack"
+        (mini_cfg Hash_s stacktrack_default);
+      bench_experiment "fig3-4-aborts-splits"
+        { (mini_cfg List_s stacktrack_default) with threads = 8 };
+      bench_experiment "fig5-slowpath"
+        (mini_cfg Skiplist_s
+           (Stacktrack_s
+              { Stacktrack.St_config.default with forced_slow_pct = 50 }));
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  Report.header ~title:"Bechamel micro-benchmarks"
+    ~subtitle:"wall-clock cost of one mini experiment per figure family";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%10.3f ms/run" (e /. 1e6)
+        | _ -> "          n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "r2=%.3f" r
+        | None -> ""
+      in
+      Format.printf "  %-40s %s %s@." name est r2)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  let speed = if !quick then Figures.Quick else Figures.Full in
+  let verbose = !verbose in
+  if want "fig1-list" then ignore (Figures.fig1_list ~verbose ~speed ());
+  if want "fig1-skiplist" then ignore (Figures.fig1_skiplist ~verbose ~speed ());
+  if want "fig2-queue" then ignore (Figures.fig2_queue ~verbose ~speed ());
+  if want "fig2-hash" then ignore (Figures.fig2_hash ~verbose ~speed ());
+  if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~speed ());
+  if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~speed ());
+  if want "fig5-slowpath" then ignore (Figures.fig5_slowpath ~verbose ~speed ());
+  if want "scan-behavior" then ignore (Figures.scan_behavior ~verbose ~speed ());
+  if want "ablations" then begin
+    ignore (Figures.ablation_predictor ~verbose ~speed ());
+    ignore (Figures.ablation_scan ~verbose ~speed ())
+  end;
+  if want "crash" then ignore (Figures.crash_resilience ~verbose ~speed ());
+  if want "latency" then ignore (Figures.latency_profile ~verbose ~speed ());
+  if want "memory" then ignore (Figures.memory_profile ~verbose ~speed ());
+  if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~speed ());
+  if want "micro" then run_micro ();
+  Format.printf "@.done.@."

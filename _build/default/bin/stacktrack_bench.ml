@@ -1,0 +1,212 @@
+(* Command-line driver for single experiments and figure reproduction.
+
+   stacktrack_bench run --structure list --scheme stacktrack --threads 8 ...
+   stacktrack_bench figures fig1-list fig3-aborts --quick *)
+
+open Cmdliner
+open St_harness
+
+let structure_conv =
+  let parse = function
+    | "list" -> Ok Experiment.List_s
+    | "skiplist" -> Ok Experiment.Skiplist_s
+    | "queue" -> Ok Experiment.Queue_s
+    | "hash" -> Ok Experiment.Hash_s
+    | s -> Error (`Msg (Printf.sprintf "unknown structure %S" s))
+  in
+  let print ppf s = Format.fprintf ppf "%s" (Experiment.structure_name s) in
+  Arg.conv (parse, print)
+
+let scheme_of_string ~forced_slow ~max_free ~hash_scan = function
+  | "original" | "none" -> Ok Experiment.Original
+  | "hazards" | "hp" -> Ok Experiment.Hazards
+  | "epoch" -> Ok Experiment.Epoch
+  | "stacktrack" | "st" ->
+      Ok
+        (Experiment.Stacktrack_s
+           {
+             Stacktrack.St_config.default with
+             forced_slow_pct = forced_slow;
+             max_free;
+             hash_scan;
+           })
+  | "dta" -> Ok Experiment.Dta
+  | "refcount" | "rc" -> Ok Experiment.Refcount_s
+  | "immediate" -> Ok Experiment.Immediate_unsafe
+  | s -> Error (Printf.sprintf "unknown scheme %S" s)
+
+let print_result (r : Experiment.result) =
+  let open Format in
+  Report.run_line r;
+  printf "  makespan            %d cycles@." r.Experiment.makespan;
+  printf "  throughput          %.1f ops/Mcycle@." r.Experiment.throughput;
+  printf "  allocs/frees/live   %d / %d / %d@." r.Experiment.allocs
+    r.Experiment.frees r.Experiment.live_at_end;
+  printf "  retired/freed       %d / %d@."
+    r.Experiment.reclaim.St_reclaim.Guard.retired
+    r.Experiment.reclaim.St_reclaim.Guard.freed;
+  printf "  scans/stalls        %d / %d cycles@."
+    r.Experiment.reclaim.St_reclaim.Guard.scans
+    r.Experiment.reclaim.St_reclaim.Guard.stall_cycles;
+  printf "  htm                 %a@." St_htm.Htm_stats.pp r.Experiment.htm;
+  (match r.Experiment.st with
+  | Some st -> printf "  stacktrack          %a@." Stacktrack.Scheme_stats.pp st
+  | None -> ());
+  printf "  context switches    %d@." r.Experiment.context_switches;
+  printf "  final size          %d@." r.Experiment.final_size;
+  printf "  violations          %d@." r.Experiment.violations;
+  List.iter
+    (fun v -> printf "    %a@." St_mem.Shadow.pp_violation v)
+    r.Experiment.violation_samples
+
+let run_cmd =
+  let structure =
+    Arg.(
+      value
+      & opt structure_conv Experiment.List_s
+      & info [ "structure"; "d" ] ~docv:"STRUCT"
+          ~doc:"Data structure: list, skiplist, queue, hash.")
+  in
+  let scheme =
+    Arg.(
+      value & opt string "stacktrack"
+      & info [ "scheme"; "s" ] ~docv:"SCHEME"
+          ~doc:
+            "Reclamation scheme: original, hazards, epoch, stacktrack, dta, \
+             refcount, immediate.")
+  in
+  let threads =
+    Arg.(value & opt int 8 & info [ "threads"; "t" ] ~doc:"Worker threads.")
+  in
+  let duration =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "duration" ] ~doc:"Virtual cycles per thread.")
+  in
+  let keys =
+    Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"Key range for sets.")
+  in
+  let init =
+    Arg.(value & opt int 512 & info [ "init" ] ~doc:"Initial structure size.")
+  in
+  let mutations =
+    Arg.(
+      value & opt int 20 & info [ "mutations"; "m" ] ~doc:"Mutation percentage.")
+  in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"RNG seed.") in
+  let buckets =
+    Arg.(value & opt int 512 & info [ "buckets" ] ~doc:"Hash-table buckets.")
+  in
+  let forced_slow =
+    Arg.(
+      value & opt int 0
+      & info [ "forced-slow" ] ~doc:"StackTrack: % of operations forced slow.")
+  in
+  let max_free =
+    Arg.(
+      value & opt int 10
+      & info [ "max-free" ] ~doc:"StackTrack: free-set batch size.")
+  in
+  let hash_scan =
+    Arg.(
+      value & flag
+      & info [ "hash-scan" ] ~doc:"StackTrack: single-pass hash scan (sec 5.2).")
+  in
+  let crash =
+    Arg.(
+      value & opt (list int) []
+      & info [ "crash" ] ~doc:"Thread ids to crash at 25% of the run.")
+  in
+  let zipf =
+    Arg.(
+      value & opt (some float) None
+      & info [ "zipf" ] ~doc:"Zipfian key skew theta (default: uniform).")
+  in
+  let run structure scheme threads duration keys init mutations seed buckets
+      forced_slow max_free hash_scan crash zipf =
+    match scheme_of_string ~forced_slow ~max_free ~hash_scan scheme with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok scheme ->
+        let cfg =
+          {
+            Experiment.default_config with
+            structure;
+            scheme;
+            threads;
+            duration;
+            key_range = keys;
+            init_size = min init keys;
+            mutation_pct = mutations;
+            seed;
+            n_buckets = buckets;
+            crash_tids = crash;
+            dist =
+              (match zipf with
+              | None -> St_workload.Workload.Uniform
+              | Some theta -> St_workload.Workload.Zipf theta);
+          }
+        in
+        print_result (Experiment.run cfg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a single experiment and print its statistics.")
+    Term.(
+      const run $ structure $ scheme $ threads $ duration $ keys $ init
+      $ mutations $ seed $ buckets $ forced_slow $ max_free $ hash_scan $ crash
+      $ zipf)
+
+let figures_cmd =
+  let names =
+    Arg.(
+      value & pos_all string [ "all" ]
+      & info [] ~docv:"FIGURE"
+          ~doc:
+            "Figures to reproduce: fig1-list fig1-skiplist fig2-queue \
+             fig2-hash fig3-aborts fig4-splits fig5-slowpath scan-behavior \
+             ablations crash latency memory stm all.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Coarser sweeps, shorter runs.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run detail lines.")
+  in
+  let run names quick verbose =
+    let speed = if quick then Figures.Quick else Figures.Full in
+    let want t = List.mem t names || List.mem "all" names in
+    if want "fig1-list" then ignore (Figures.fig1_list ~verbose ~speed ());
+    if want "fig1-skiplist" then
+      ignore (Figures.fig1_skiplist ~verbose ~speed ());
+    if want "fig2-queue" then ignore (Figures.fig2_queue ~verbose ~speed ());
+    if want "fig2-hash" then ignore (Figures.fig2_hash ~verbose ~speed ());
+    if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~speed ());
+    if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~speed ());
+    if want "fig5-slowpath" then
+      ignore (Figures.fig5_slowpath ~verbose ~speed ());
+    if want "scan-behavior" then
+      ignore (Figures.scan_behavior ~verbose ~speed ());
+    if want "ablations" then begin
+      ignore (Figures.ablation_predictor ~verbose ~speed ());
+      ignore (Figures.ablation_scan ~verbose ~speed ());
+      ignore (Figures.ablation_contention ~verbose ~speed ())
+    end;
+    if want "crash" then ignore (Figures.crash_resilience ~verbose ~speed ());
+    if want "latency" then ignore (Figures.latency_profile ~verbose ~speed ());
+    if want "memory" then ignore (Figures.memory_profile ~verbose ~speed ());
+    if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~speed ())
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's figures.")
+    Term.(const run $ names $ quick $ verbose)
+
+let main =
+  Cmd.group
+    (Cmd.info "stacktrack_bench" ~version:"1.0.0"
+       ~doc:
+         "StackTrack (EuroSys 2014) reproduction: simulated-HTM concurrent \
+          memory reclamation benchmarks.")
+    [ run_cmd; figures_cmd ]
+
+let () = exit (Cmd.eval main)

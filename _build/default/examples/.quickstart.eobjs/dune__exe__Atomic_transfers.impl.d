@@ -1,0 +1,1 @@
+examples/atomic_transfers.ml: Array Format Guard Heap Sched Shadow St_htm St_mem St_reclaim St_sim Stacktrack Tsx

@@ -1,0 +1,1 @@
+examples/compare_schemes.ml: Experiment Float Format List St_harness

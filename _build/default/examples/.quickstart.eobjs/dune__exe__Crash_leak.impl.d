@@ -1,0 +1,1 @@
+examples/crash_leak.ml: Experiment Format List St_harness St_reclaim

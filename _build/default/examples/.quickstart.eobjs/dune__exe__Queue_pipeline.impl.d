@@ -1,0 +1,1 @@
+examples/queue_pipeline.ml: Format Guard Heap List Sched Shadow St_dslib St_htm St_mem St_reclaim St_sim Stacktrack Tsx

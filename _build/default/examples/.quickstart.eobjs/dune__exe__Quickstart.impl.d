@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dump Fmt Format Guard Heap Rng Sched Shadow St_dslib St_htm St_mem St_reclaim St_sim Stacktrack Tsx

@@ -1,0 +1,1 @@
+examples/slowpath_demo.ml: Experiment Format List Option St_harness Stacktrack

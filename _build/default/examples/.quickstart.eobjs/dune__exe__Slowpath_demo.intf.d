@@ -1,0 +1,1 @@
+examples/slowpath_demo.mli:

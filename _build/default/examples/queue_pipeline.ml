@@ -1,0 +1,88 @@
+(* A producer/consumer pipeline over the Michael-Scott queue with StackTrack
+   reclamation: dequeued nodes are freed and recycled while consumers may
+   still be racing on them — the exact pattern that makes manual
+   reclamation of MS queues notoriously ABA-prone.
+
+     dune exec examples/queue_pipeline.exe
+
+   Producers push work items; consumers pop them and tally a checksum.
+   At the end we verify multiset conservation (nothing lost, nothing
+   duplicated), that node memory was recycled, and that the shadow checker
+   saw no use-after-free. *)
+
+open St_sim
+open St_mem
+open St_htm
+open St_reclaim
+
+module Q = St_dslib.Ms_queue.Make (Stacktrack.Engine)
+
+let n_producers = 3
+let n_consumers = 3
+let items_per_producer = 150
+
+let () =
+  let sched = Sched.create ~seed:2024 () in
+  let shadow = Shadow.create () in
+  let heap = Heap.create ~shadow () in
+  let tsx = Tsx.create ~sched ~heap () in
+  let rt = Guard.make_runtime ~sched ~tsx in
+  let scheme = Stacktrack.Engine.create rt in
+  let q = St_dslib.Ms_queue.create_raw heap in
+
+  let produced = ref 0 and consumed = ref 0 in
+  let produced_sum = ref 0 and consumed_sum = ref 0 in
+  let producers_done = ref 0 in
+
+  for p = 0 to n_producers - 1 do
+    ignore
+      (Sched.add_thread sched (fun tid ->
+           let th = Stacktrack.Engine.create_thread scheme ~tid in
+           for i = 1 to items_per_producer do
+             let item = (p * 10_000) + i in
+             Q.enqueue q th item;
+             incr produced;
+             produced_sum := !produced_sum + item
+           done;
+           incr producers_done;
+           Stacktrack.Engine.quiesce th))
+  done;
+
+  for _ = 0 to n_consumers - 1 do
+    ignore
+      (Sched.add_thread sched (fun tid ->
+           let th = Stacktrack.Engine.create_thread scheme ~tid in
+           let rec drain () =
+             match Q.dequeue q th with
+             | Some v ->
+                 incr consumed;
+                 consumed_sum := !consumed_sum + v;
+                 drain ()
+             | None ->
+                 if !producers_done < n_producers then begin
+                   (* Idle-wait for more work. *)
+                   Sched.consume sched 200;
+                   drain ()
+                 end
+           in
+           drain ();
+           Stacktrack.Engine.quiesce th))
+  done;
+
+  Sched.run sched;
+
+  (* Anything left in the queue plus everything consumed = everything
+     produced. *)
+  let leftovers = St_dslib.Ms_queue.to_list_raw heap q in
+  let leftover_sum = List.fold_left ( + ) 0 leftovers in
+  Format.printf "produced %d items (checksum %d)@." !produced !produced_sum;
+  Format.printf "consumed %d items (checksum %d), %d left in queue@."
+    !consumed !consumed_sum (List.length leftovers);
+  Format.printf "heap: %d allocs, %d frees, %d live@." (Heap.allocs heap)
+    (Heap.frees heap) (Heap.live_objects heap);
+  Format.printf "violations: %d@." (Shadow.count shadow);
+  assert (!produced = !consumed + List.length leftovers);
+  assert (!produced_sum = !consumed_sum + leftover_sum);
+  assert (Shadow.count shadow = 0);
+  assert (Heap.frees heap > 0);
+  Format.printf "pipeline conserved every item; nodes were recycled safely@."

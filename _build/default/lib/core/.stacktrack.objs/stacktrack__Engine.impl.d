@@ -1,0 +1,1 @@
+lib/core/engine.ml: Activity Array Ctx Guard Hashtbl Heap Htm_stats Option Predictor Rng Sched Scheme_stats St_config St_htm St_machine St_mem St_reclaim St_sim Tsx Vec Word

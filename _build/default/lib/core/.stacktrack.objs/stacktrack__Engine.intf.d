@@ -1,0 +1,1 @@
+lib/core/engine.mli: Scheme_stats St_config St_reclaim

@@ -1,0 +1,1 @@
+lib/core/scheme_stats.ml: Format

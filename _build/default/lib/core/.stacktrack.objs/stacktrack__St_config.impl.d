@@ -1,0 +1,1 @@
+lib/core/st_config.ml:

@@ -1,0 +1,36 @@
+type cell = { mutable limit : int; mutable consec : int }
+(* [consec] counts the current run: positive for commits, negative for
+   aborts; crossing the threshold adjusts [limit] and resets the run. *)
+
+type t = { cfg : St_config.t; cells : (int * int, cell) Hashtbl.t }
+
+let create cfg = { cfg; cells = Hashtbl.create 64 }
+
+let cell t ~op_id ~split =
+  let key = (op_id, split) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = { limit = t.cfg.St_config.initial_limit; consec = 0 } in
+      Hashtbl.add t.cells key c;
+      c
+
+let limit t ~op_id ~split = (cell t ~op_id ~split).limit
+
+let on_commit t ~op_id ~split =
+  let c = cell t ~op_id ~split in
+  c.consec <- (if c.consec > 0 then c.consec + 1 else 1);
+  if c.consec >= t.cfg.St_config.consec_threshold then begin
+    c.limit <- min t.cfg.St_config.max_limit (c.limit + 1);
+    c.consec <- 0
+  end
+
+let on_abort t ~op_id ~split =
+  let c = cell t ~op_id ~split in
+  c.consec <- (if c.consec < 0 then c.consec - 1 else -1);
+  if -c.consec >= t.cfg.St_config.consec_threshold then begin
+    c.limit <- max t.cfg.St_config.min_limit (c.limit - 1);
+    c.consec <- 0
+  end
+
+let segments_tracked t = Hashtbl.length t.cells

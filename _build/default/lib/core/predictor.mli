@@ -1,0 +1,25 @@
+(** Dynamic split-length predictor (paper §5.3).
+
+    Each thread keeps one predictor.  A {e segment} is identified by the
+    pair (operation id, split index): "the combination of operation id and
+    split number uniquely defines the current segment, therefore
+    [ctx.limits\[ctx.op_id\]\[ctx.splits\]] holds the length for the current
+    segment".
+
+    The adjustment rule is the paper's: after [consec_threshold] (5)
+    consecutive capacity/conflict aborts of a segment its limit shrinks by
+    one basic block; after 5 consecutive successful commits it grows by
+    one.  Limits are clamped to [\[min_limit, max_limit\]]. *)
+
+type t
+
+val create : St_config.t -> t
+
+val limit : t -> op_id:int -> split:int -> int
+(** Current length (in basic blocks) for this segment. *)
+
+val on_commit : t -> op_id:int -> split:int -> unit
+val on_abort : t -> op_id:int -> split:int -> unit
+
+val segments_tracked : t -> int
+(** Number of distinct (op, split) segments seen; for diagnostics. *)

@@ -1,0 +1,57 @@
+(** StackTrack tuning parameters (paper defaults in brackets). *)
+
+type t = {
+  initial_limit : int;
+      (** Initial split length in basic blocks [50] (§5.3, §6). *)
+  min_limit : int;  (** Floor for the predictor [1]. *)
+  max_limit : int;  (** Ceiling for the predictor [400]. *)
+  consec_threshold : int;
+      (** Consecutive commits/aborts before the predictor adjusts a
+          segment's length by one [5] (§5.3). *)
+  max_free : int;
+      (** Free-set batch size: a global scan runs once per this many
+          retirements [10], amortising the scan (§5.2; §6 "the cost of the
+          global scan becomes negligible ... once per every 10 free memory
+          calls"). *)
+  slow_path_after : int;
+      (** Consecutive failures of a length-1 segment before the operation
+          falls back to the software-only slow path [10] (§5.4-5.5). *)
+  forced_slow_pct : int;
+      (** Percentage of operations forced onto the slow path, the Figure 5
+          knob [0]. *)
+  expose_on_final : bool;
+      (** Whether to expose registers on an operation's final commit; the
+          paper notes the expose can be omitted there [false]. *)
+  hash_scan : bool;
+      (** Use the single-pass hash-table scan optimisation of §5.2 instead
+          of one stack walk per freed pointer [false]. *)
+  conflict_backoff : int;
+      (** Cap, in cycles, of the exponential backoff applied after a
+          conflict abort [2000]; 0 disables.  Standard practice in every
+          TSX deployment: without it, transactions re-executing against a
+          stream of CASes on a hot line (the queue's head/tail) livelock in
+          a doom-replay storm. *)
+  commit_after_cas : bool;
+      (** Split the segment right after a successful CAS [true].  A winning
+          CAS that stays buffered for the rest of a long segment is a huge
+          window in which any other writer to the line dooms the
+          transaction and forces the CAS to be retried — two threads
+          updating the same node tower can livelock this way.  Committing
+          at the linearization point makes the update durable immediately;
+          an ablation benchmark measures the effect. *)
+}
+
+let default =
+  {
+    initial_limit = 50;
+    min_limit = 1;
+    max_limit = 400;
+    consec_threshold = 5;
+    max_free = 10;
+    slow_path_after = 10;
+    forced_slow_pct = 0;
+    expose_on_final = false;
+    hash_scan = false;
+    conflict_backoff = 2000;
+    commit_after_cas = true;
+  }

@@ -1,0 +1,1 @@
+lib/dslib/harris_list.ml: Guard Heap List St_mem St_reclaim Word

@@ -1,0 +1,1 @@
+lib/dslib/harris_list.mli: St_mem St_reclaim

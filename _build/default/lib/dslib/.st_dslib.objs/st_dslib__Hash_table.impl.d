@@ -1,0 +1,1 @@
+lib/dslib/hash_table.ml: Guard Harris_list Heap List St_mem St_reclaim Word

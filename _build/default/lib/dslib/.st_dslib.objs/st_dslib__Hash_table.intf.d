@@ -1,0 +1,1 @@
+lib/dslib/hash_table.mli: St_mem St_reclaim

@@ -1,0 +1,1 @@
+lib/dslib/ms_queue.ml: Guard Heap List St_mem St_reclaim Word

@@ -1,0 +1,1 @@
+lib/dslib/ms_queue.mli: St_mem St_reclaim

@@ -1,0 +1,1 @@
+lib/dslib/skiplist.ml: Array Guard Heap List St_mem St_reclaim St_sim Word

@@ -1,0 +1,1 @@
+lib/dslib/skiplist.mli: St_mem St_reclaim St_sim

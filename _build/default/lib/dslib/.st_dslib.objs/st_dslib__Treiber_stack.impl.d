@@ -1,0 +1,1 @@
+lib/dslib/treiber_stack.ml: Guard Heap List St_mem St_reclaim Word

@@ -1,0 +1,1 @@
+lib/dslib/treiber_stack.mli: St_mem St_reclaim

@@ -1,0 +1,89 @@
+(** Lock-free hash table with Harris-list buckets (the paper's low-contention
+    benchmark: "a lock-free hash-table based on the Harris lock-free list").
+
+    The table is a fixed array of bucket sentinel pointers (one immutable
+    word per bucket, set up before concurrency starts), each heading an
+    independent sorted list.  All list logic is reused from
+    {!Harris_list}. *)
+
+open St_mem
+open St_reclaim
+
+type t = { buckets : Word.addr; n_buckets : int }
+
+let bucket_of t key = key mod t.n_buckets
+
+let create_raw heap ~n_buckets =
+  let buckets = Heap.alloc heap ~tid:0 ~size:n_buckets in
+  for b = 0 to n_buckets - 1 do
+    let l = Harris_list.create_raw heap in
+    Heap.write heap ~tid:0 (buckets + b) l.Harris_list.head
+  done;
+  { buckets; n_buckets }
+
+let bucket_head_raw heap t b = Heap.peek heap (t.buckets + b)
+
+let populate_raw heap t ~keys ~note_link =
+  List.iter
+    (fun k ->
+      let b = bucket_of t k in
+      let head = bucket_head_raw heap t b in
+      (* Insert in front order then rely on sortedness per bucket: reuse the
+         list populate per key (cheap since buckets are short). *)
+      let rec find_spot prev =
+        let next = Heap.peek heap (prev + Harris_list.next_off) in
+        if next = Word.null || Heap.peek heap (next + Harris_list.key_off) > k
+        then prev
+        else if Heap.peek heap (next + Harris_list.key_off) = k then -1
+        else find_spot next
+      in
+      let spot = find_spot head in
+      if spot >= 0 then begin
+        let n = Heap.alloc heap ~tid:0 ~size:Harris_list.node_size in
+        Heap.write heap ~tid:0 (n + Harris_list.key_off) k;
+        Heap.write heap ~tid:0
+          (n + Harris_list.next_off)
+          (Heap.peek heap (spot + Harris_list.next_off));
+        (let succ = Heap.peek heap (n + Harris_list.next_off) in
+         if succ <> Word.null then note_link succ);
+        Heap.write heap ~tid:0 (spot + Harris_list.next_off) n;
+        note_link n
+      end)
+    keys
+
+let to_list_raw heap t =
+  let acc = ref [] in
+  for b = t.n_buckets - 1 downto 0 do
+    let head = bucket_head_raw heap t b in
+    acc :=
+      Harris_list.to_list_raw heap { Harris_list.head } @ !acc
+  done;
+  List.sort compare !acc
+
+module Make (G : Guard.S) = struct
+  module L = Harris_list.Make (G)
+
+  type nonrec t = t
+
+  (* The bucket array is immutable after setup; reading it is a plain
+     (uninstrumented-by-schemes) shared read. *)
+  let bucket env t key =
+    let b = bucket_of t key in
+    { Harris_list.head = G.read env (t.buckets + b) }
+
+  let op_contains = 31
+  let op_insert = 32
+  let op_delete = 33
+
+  let contains t th key =
+    G.run_op th ~op_id:op_contains (fun env ->
+        L.contains_in env (bucket env t key) key)
+
+  let insert t th key =
+    G.run_op th ~op_id:op_insert (fun env ->
+        L.insert_in env (bucket env t key) key)
+
+  let delete t th key =
+    G.run_op th ~op_id:op_delete (fun env ->
+        L.delete_in env (bucket env t key) key)
+end

@@ -1,0 +1,27 @@
+(** Lock-free hash table with Harris-list buckets — the paper's
+    low-contention benchmark ("a lock-free hash-table based on the Harris
+    lock-free list").
+
+    A fixed array of per-bucket sentinel pointers (immutable after setup)
+    heads independent sorted lists; all list logic comes from
+    {!Harris_list}. *)
+
+type t = { buckets : St_mem.Word.addr; n_buckets : int }
+
+val bucket_of : t -> int -> int
+
+val create_raw : St_mem.Heap.t -> n_buckets:int -> t
+
+val populate_raw :
+  St_mem.Heap.t -> t -> keys:int list -> note_link:(St_mem.Word.addr -> unit) -> unit
+
+val to_list_raw : St_mem.Heap.t -> t -> int list
+(** All keys, sorted.  Quiescent use only. *)
+
+module Make (G : St_reclaim.Guard.S) : sig
+  type nonrec t = t
+
+  val contains : t -> G.thread -> int -> bool
+  val insert : t -> G.thread -> int -> bool
+  val delete : t -> G.thread -> int -> bool
+end

@@ -1,0 +1,135 @@
+(** Michael-Scott lock-free queue (PODC 1996) over simulated memory,
+    functorised over the reclamation scheme.
+
+    Layout: the queue root is a 2-word object [| head; tail |]; nodes are
+    [| value; next |].  The queue always contains a dummy node; [head]
+    points at the dummy, whose successor holds the front value.  A dequeue
+    that swings [head] retires the old dummy — the retiring thread is the
+    unique successful head-CASer, so single-retirement holds.
+
+    This is the paper's high-contention benchmark: every operation hits the
+    head or tail word. *)
+
+open St_mem
+open St_reclaim
+
+let value_off = 0
+let next_off = 1
+let node_size = 2
+
+(* Head and tail are padded onto separate cache lines, as every practical
+   MS-queue implementation does: without the padding each enqueue's tail
+   CAS would conflict-abort every reader of the head word. *)
+let head_off = 0
+let tail_off = 4
+let root_size = 8
+
+let op_enqueue = 11
+let op_dequeue = 12
+let op_peek = 13
+
+(* Frame locals. *)
+let l_a = 0
+let l_b = 1
+
+type t = { root : Word.addr }
+
+let create_raw heap =
+  let root = Heap.alloc heap ~tid:0 ~size:root_size in
+  let dummy = Heap.alloc heap ~tid:0 ~size:node_size in
+  Heap.write heap ~tid:0 (dummy + value_off) 0;
+  Heap.write heap ~tid:0 (dummy + next_off) Word.null;
+  Heap.write heap ~tid:0 (root + head_off) dummy;
+  Heap.write heap ~tid:0 (root + tail_off) dummy;
+  { root }
+
+let populate_raw heap t ~values ~note_link =
+  List.iter
+    (fun v ->
+      let n = Heap.alloc heap ~tid:0 ~size:node_size in
+      Heap.write heap ~tid:0 (n + value_off) v;
+      Heap.write heap ~tid:0 (n + next_off) Word.null;
+      let tail = Heap.peek heap (t.root + tail_off) in
+      Heap.write heap ~tid:0 (tail + next_off) n;
+      Heap.write heap ~tid:0 (t.root + tail_off) n;
+      note_link n)
+    values
+
+let to_list_raw heap t =
+  let rec go addr acc =
+    if addr = Word.null then List.rev acc
+    else
+      go
+        (Heap.peek heap (addr + next_off))
+        (Heap.peek heap (addr + value_off) :: acc)
+  in
+  (* Skip the dummy. *)
+  let dummy = Heap.peek heap (t.root + head_off) in
+  go (Heap.peek heap (dummy + next_off)) []
+
+module Make (G : Guard.S) = struct
+  type nonrec t = t
+
+  let enqueue t th value =
+    G.run_op th ~op_id:op_enqueue (fun env ->
+        let node = G.alloc env ~size:node_size in
+        G.local_set env l_a node;
+        G.write env (node + value_off) value;
+        G.write env (node + next_off) Word.null;
+        let rec attempt () =
+          let tail = G.protected_read env ~slot:0 (t.root + tail_off) in
+          G.local_set env l_b tail;
+          let next = G.protected_read env ~slot:1 (tail + next_off) in
+          (* Validate tail is still the tail (standard MS consistency
+             check; also re-anchors the hazard). *)
+          if G.read env (t.root + tail_off) <> tail then attempt ()
+          else if next <> Word.null then begin
+            (* Tail lagging: help swing it, then retry. *)
+            ignore (G.cas env (t.root + tail_off) ~expect:tail next);
+            attempt ()
+          end
+          else if G.cas env (tail + next_off) ~expect:Word.null node then begin
+            ignore (G.cas env (t.root + tail_off) ~expect:tail node);
+            ()
+          end
+          else attempt ()
+        in
+        attempt ())
+
+  let dequeue t th =
+    G.run_op th ~op_id:op_dequeue (fun env ->
+        let rec attempt () =
+          let head = G.protected_read env ~slot:0 (t.root + head_off) in
+          G.local_set env l_a head;
+          let tail = G.read env (t.root + tail_off) in
+          let next = G.protected_read env ~slot:1 (head + next_off) in
+          G.local_set env l_b next;
+          if G.read env (t.root + head_off) <> head then attempt ()
+          else if next = Word.null then None
+          else if head = tail then begin
+            ignore (G.cas env (t.root + tail_off) ~expect:tail next);
+            attempt ()
+          end
+          else begin
+            let value = G.read env (next + value_off) in
+            if G.cas env (t.root + head_off) ~expect:head next then begin
+              G.retire env head;
+              Some value
+            end
+            else attempt ()
+          end
+        in
+        attempt ())
+
+  let peek t th =
+    G.run_op th ~op_id:op_peek (fun env ->
+        let rec attempt () =
+          let head = G.protected_read env ~slot:0 (t.root + head_off) in
+          G.local_set env l_a head;
+          let next = G.protected_read env ~slot:1 (head + next_off) in
+          if G.read env (t.root + head_off) <> head then attempt ()
+          else if next = Word.null then None
+          else Some (G.read env (next + value_off))
+        in
+        attempt ())
+end

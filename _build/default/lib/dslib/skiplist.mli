@@ -1,0 +1,72 @@
+(** Fraser-Harris lock-free skip list (Fraser 2004), functorised over the
+    reclamation scheme — the paper's long-operation benchmark.
+
+    Each next pointer carries its own deletion mark; marking proceeds
+    top-down, with the level-0 mark as the linearization point electing the
+    unique deleter, which physically unlinks every level (searches help)
+    before retiring the node.  See the .ml header for the hazard-slot map
+    used under pointer-announcement schemes. *)
+
+val max_level : int
+
+(** {2 Node layout} *)
+
+val key_off : int
+val level_off : int
+val next_off : int -> int
+(** [next_off l] is the offset of the level-[l] forward pointer. *)
+
+val node_size : int -> int
+val head_key : int
+
+(** {2 Operation / frame-slot / hazard-slot identifiers} *)
+
+val op_contains : int
+val op_insert : int
+val op_delete : int
+val l_pred : int -> int
+val l_succ : int -> int
+val l_node : int
+val l_curr : int
+val pred_slot : int -> int
+val succ_slot : int -> int
+val node_slot : int
+
+type t = { head : St_mem.Word.addr }
+
+(** {2 Raw construction and inspection} *)
+
+val create_raw : St_mem.Heap.t -> t
+
+val random_level : St_sim.Rng.t -> int
+(** Geometric tower height in [\[1, max_level\]], p = 1/2. *)
+
+val populate_raw :
+  St_mem.Heap.t ->
+  t ->
+  keys:int list ->
+  rng:St_sim.Rng.t ->
+  note_link:(St_mem.Word.addr -> unit) ->
+  unit
+
+val to_list_raw : St_mem.Heap.t -> t -> int list
+(** Level-0 keys in order.  Quiescent use only. *)
+
+val check_raw : St_mem.Heap.t -> t -> bool
+(** Structural invariant: every level sorted and a sublist of the level
+    below.  Quiescent use only. *)
+
+(** {2 Concurrent operations} *)
+
+module Make (G : St_reclaim.Guard.S) : sig
+  type nonrec t = t
+
+  val search : G.env -> t -> int -> St_mem.Word.addr
+  (** Fill the per-level preds/succs frame locals; return the level-0 node
+      with the key (protected) or null.  Helps unlink marked nodes. *)
+
+  val contains : t -> G.thread -> int -> bool
+  val insert : t -> G.thread -> int -> bool
+  val delete : t -> G.thread -> int -> bool
+  val size : t -> G.thread -> int
+end

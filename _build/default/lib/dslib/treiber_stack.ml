@@ -1,0 +1,103 @@
+(** Treiber lock-free stack (1986) over simulated memory, functorised over
+    the reclamation scheme.
+
+    The stack is the canonical ABA victim: [pop] CASes the top pointer from
+    the observed node to its successor, and if that node is freed and its
+    address recycled as a new top between the read and the CAS, an
+    unprotected implementation corrupts the stack or dereferences freed
+    memory.  Safe reclamation is what makes the CAS sound, which is why the
+    structure earns a place in a memory-reclamation test suite (and, with
+    this paper's title, in a project called StackTrack).
+
+    Layout: root is one padded line holding [top]; nodes are
+    [| value; next |].  The successful top-CASer of a pop retires the
+    node. *)
+
+open St_mem
+open St_reclaim
+
+let value_off = 0
+let next_off = 1
+let node_size = 2
+let top_off = 0
+let root_size = 4
+
+let op_push = 41
+let op_pop = 42
+let op_top = 43
+
+let l_node = 0
+let l_top = 1
+
+type t = { root : Word.addr }
+
+let create_raw heap =
+  let root = Heap.alloc heap ~tid:0 ~size:root_size in
+  Heap.write heap ~tid:0 (root + top_off) Word.null;
+  { root }
+
+let populate_raw heap t ~values ~note_link =
+  (* Pushed in order: the last value ends on top. *)
+  List.iter
+    (fun v ->
+      let n = Heap.alloc heap ~tid:0 ~size:node_size in
+      Heap.write heap ~tid:0 (n + value_off) v;
+      Heap.write heap ~tid:0 (n + next_off) (Heap.peek heap (t.root + top_off));
+      (let old = Heap.peek heap (n + next_off) in
+       if old <> Word.null then note_link old);
+      Heap.write heap ~tid:0 (t.root + top_off) n;
+      note_link n)
+    values
+
+let to_list_raw heap t =
+  (* Top first. *)
+  let rec go addr acc =
+    if addr = Word.null then List.rev acc
+    else
+      go
+        (Heap.peek heap (addr + next_off))
+        (Heap.peek heap (addr + value_off) :: acc)
+  in
+  go (Heap.peek heap (t.root + top_off)) []
+
+module Make (G : Guard.S) = struct
+  type nonrec t = t
+
+  let push t th value =
+    G.run_op th ~op_id:op_push (fun env ->
+        let node = G.alloc env ~size:node_size in
+        G.local_set env l_node node;
+        G.write env (node + value_off) value;
+        let rec attempt () =
+          let top = G.read env (t.root + top_off) in
+          G.write env (node + next_off) top;
+          if G.cas env (t.root + top_off) ~expect:top node then ()
+          else attempt ()
+        in
+        attempt ())
+
+  let pop t th =
+    G.run_op th ~op_id:op_pop (fun env ->
+        let rec attempt () =
+          let top = G.protected_read env ~slot:0 (t.root + top_off) in
+          G.local_set env l_top top;
+          if top = Word.null then None
+          else begin
+            let next = G.read env (top + next_off) in
+            let value = G.read env (top + value_off) in
+            if G.cas env (t.root + top_off) ~expect:top next then begin
+              G.retire env top;
+              Some value
+            end
+            else attempt ()
+          end
+        in
+        attempt ())
+
+  let top t th =
+    G.run_op th ~op_id:op_top (fun env ->
+        let top = G.protected_read env ~slot:0 (t.root + top_off) in
+        G.local_set env l_top top;
+        if top = Word.null then None
+        else Some (G.read env (top + value_off)))
+end

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Experiment Float Format Latency List Report St_htm St_reclaim Stacktrack String

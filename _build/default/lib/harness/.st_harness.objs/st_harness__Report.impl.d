@@ -1,0 +1,1 @@
+lib/harness/report.ml: Experiment Float Format List Printf St_htm String

@@ -1,0 +1,338 @@
+(** Experiment runner: builds a simulated machine, a data structure, a
+    reclamation scheme, and a set of worker threads; runs the schedule to
+    completion and collects every statistic the paper's figures need. *)
+
+open St_sim
+open St_mem
+open St_htm
+open St_reclaim
+
+type structure = List_s | Skiplist_s | Queue_s | Hash_s
+
+let structure_name = function
+  | List_s -> "list"
+  | Skiplist_s -> "skiplist"
+  | Queue_s -> "queue"
+  | Hash_s -> "hash"
+
+type scheme_kind =
+  | Original  (** no reclamation *)
+  | Hazards
+  | Epoch
+  | Stacktrack_s of Stacktrack.St_config.t
+  | Dta
+  | Refcount_s
+  | Immediate_unsafe
+
+let stacktrack_default = Stacktrack_s Stacktrack.St_config.default
+
+let scheme_name = function
+  | Original -> "Original"
+  | Hazards -> "Hazards"
+  | Epoch -> "Epoch"
+  | Stacktrack_s _ -> "StackTrack"
+  | Dta -> "DTA"
+  | Refcount_s -> "RefCount"
+  | Immediate_unsafe -> "Immediate(unsafe)"
+
+type config = {
+  structure : structure;
+  scheme : scheme_kind;
+  threads : int;
+  duration : int;  (** Virtual cycles per thread. *)
+  key_range : int;
+  init_size : int;
+  mutation_pct : int;
+  dist : St_workload.Workload.key_dist;
+  n_buckets : int;  (** Hash table only. *)
+  seed : int;
+  cores : int;
+  smt : int;
+  quantum : int;
+  cache : Cache.t;
+  backend : Tsx.backend;  (** HTM (default) or the TL2-style STM. *)
+  crash_tids : int list;  (** Threads crashed at ~25% of the run. *)
+  sample_live : int;
+      (** Sampling interval (cycles) for the live-object profile; 0 = off. *)
+}
+
+let default_config =
+  {
+    structure = List_s;
+    scheme = Original;
+    threads = 4;
+    duration = 2_000_000;
+    key_range = 512;
+    init_size = 256;
+    mutation_pct = 20;
+    dist = St_workload.Workload.Uniform;
+    n_buckets = 64;
+    seed = 0xC0FFEE;
+    cores = 4;
+    smt = 2;
+    quantum = 100_000;
+    cache = Cache.create ();
+    backend = Tsx.Htm;
+    crash_tids = [];
+    sample_live = 0;
+  }
+
+type result = {
+  cfg : config;
+  total_ops : int;
+  ops_per_thread : int array;
+  makespan : int;  (** Max logical-core clock at completion. *)
+  throughput : float;  (** Operations per million virtual cycles. *)
+  htm : Htm_stats.t;
+  reclaim : Guard.stats;
+  st : Stacktrack.Scheme_stats.t option;  (** StackTrack runs only. *)
+  violations : int;
+  violation_samples : Shadow.violation list;
+  allocs : int;
+  frees : int;
+  live_at_end : int;
+  context_switches : int;
+  final_size : int;  (** Structure size after the run (raw count). *)
+  leaked : int;  (** Live heap objects beyond the structure's final needs. *)
+  latency : Latency.t;  (** Per-operation latency distribution (cycles). *)
+  live_samples : (int * int) list;
+      (** (time, live objects) samples when [sample_live] > 0. *)
+  peak_live : int;
+}
+
+let throughput_of ~ops ~makespan =
+  if makespan = 0 then 0. else Float.of_int ops *. 1e6 /. Float.of_int makespan
+
+(* Existentially packed scheme, plus concrete handles where a scheme needs
+   special treatment (no Obj.magic). *)
+type packed = Packed : (module Guard.S with type t = 'a) * 'a -> packed
+
+type instance = {
+  packed : packed;
+  note_link : int -> unit;  (** prime link counts during raw population *)
+  st_handle : Stacktrack.Engine.t option;
+}
+
+module None_scheme = St_reclaim.None
+
+let make_instance rt = function
+  | Original ->
+      {
+        packed =
+          Packed
+            ( (module None_scheme : Guard.S with type t = None_scheme.t),
+              None_scheme.create rt );
+        note_link = ignore;
+        st_handle = None;
+      }
+  | Hazards ->
+      {
+        packed =
+          Packed ((module Hazard : Guard.S with type t = Hazard.t), Hazard.create rt);
+        note_link = ignore;
+        st_handle = None;
+      }
+  | Epoch ->
+      {
+        packed =
+          Packed ((module Epoch : Guard.S with type t = Epoch.t), Epoch.create rt);
+        note_link = ignore;
+        st_handle = None;
+      }
+  | Stacktrack_s cfg ->
+      let s = Stacktrack.Engine.create ~cfg rt in
+      {
+        packed =
+          Packed
+            ( (module Stacktrack.Engine : Guard.S with type t = Stacktrack.Engine.t),
+              s );
+        note_link = ignore;
+        st_handle = Some s;
+      }
+  | Dta ->
+      {
+        packed = Packed ((module Dta : Guard.S with type t = Dta.t), Dta.create rt);
+        note_link = ignore;
+        st_handle = None;
+      }
+  | Refcount_s ->
+      let s = Refcount.create rt in
+      {
+        packed = Packed ((module Refcount : Guard.S with type t = Refcount.t), s);
+        note_link = Refcount.note_initial_link s;
+        st_handle = None;
+      }
+  | Immediate_unsafe ->
+      {
+        packed =
+          Packed
+            ((module Immediate : Guard.S with type t = Immediate.t), Immediate.create rt);
+        note_link = ignore;
+        st_handle = None;
+      }
+
+(* Generic duration-bounded worker: [do_op] runs one operation on the
+   per-thread handle ['th], recording its latency. *)
+let worker_loop ~sched ~duration ~ops_per_thread ~latency ~(mk : int -> 'th)
+    ~(next : int -> 'op) ~(do_op : 'th -> 'op -> unit) ~(quiesce : 'th -> unit)
+    tid =
+  let th = mk tid in
+  while Sched.now sched < duration do
+    let t0 = Sched.now sched in
+    do_op th (next tid);
+    Latency.record latency (Sched.now sched - t0);
+    ops_per_thread.(tid) <- ops_per_thread.(tid) + 1
+  done;
+  quiesce th
+
+let run cfg =
+  let topo = Topology.create ~cores:cfg.cores ~smt:cfg.smt () in
+  let sched =
+    Sched.create ~topology:topo ~quantum:cfg.quantum ~seed:cfg.seed ()
+  in
+  let shadow = Shadow.create () in
+  let heap = Heap.create ~initial_words:(1 lsl 18) ~shadow () in
+  let tsx = Tsx.create ~cache:cfg.cache ~backend:cfg.backend ~sched ~heap () in
+  let rt = Guard.make_runtime ~sched ~tsx in
+  let setup_rng = Rng.create ~seed:(cfg.seed lxor 0x5EED) in
+  let inst = make_instance rt cfg.scheme in
+
+  let init_keys =
+    St_workload.Workload.initial_keys ~rng:setup_rng ~key_range:cfg.key_range
+      ~size:cfg.init_size
+  in
+  let ops_per_thread = Array.make cfg.threads 0 in
+  let latency = Latency.create () in
+  let live_samples = ref [] in
+
+  let set_gen tid =
+    St_workload.Workload.set_gen
+      (St_workload.Workload.set_profile ~dist:cfg.dist ~key_range:cfg.key_range
+         ~mutation_pct:cfg.mutation_pct ())
+      (Rng.create ~seed:(cfg.seed + (7919 * (tid + 1))))
+  in
+
+  let run_workers worker =
+    for i = 0 to cfg.threads - 1 do
+      ignore (Sched.add_thread sched worker);
+      ignore i
+    done;
+    if cfg.crash_tids <> [] then
+      ignore
+        (Sched.add_thread sched (fun _ ->
+             Sched.consume sched (cfg.duration / 4);
+             List.iter (fun tid -> Sched.crash sched tid) cfg.crash_tids));
+    if cfg.sample_live > 0 then
+      ignore
+        (Sched.add_thread sched (fun _ ->
+             while Sched.now sched < cfg.duration do
+               Sched.consume sched cfg.sample_live;
+               live_samples :=
+                 (Sched.now sched, Heap.live_objects heap) :: !live_samples
+             done));
+    Sched.run sched
+  in
+
+  let final_size =
+    match inst.packed with
+    | Packed ((module G), scheme) -> (
+        let mk tid = G.create_thread scheme ~tid in
+        match cfg.structure with
+        | List_s ->
+            let module S = St_dslib.Harris_list.Make (G) in
+            let t = St_dslib.Harris_list.create_raw heap in
+            St_dslib.Harris_list.populate_raw heap t ~keys:init_keys
+              ~note_link:inst.note_link;
+            let gens = Array.init cfg.threads set_gen in
+            run_workers
+              (worker_loop ~sched ~duration:cfg.duration ~ops_per_thread ~latency ~mk
+                 ~next:(fun tid -> St_workload.Workload.next_set_op gens.(tid))
+                 ~do_op:(fun th op ->
+                   match op with
+                   | St_workload.Workload.Contains k -> ignore (S.contains t th k)
+                   | St_workload.Workload.Insert k -> ignore (S.insert t th k)
+                   | St_workload.Workload.Delete k -> ignore (S.delete t th k))
+                 ~quiesce:G.quiesce);
+            List.length (St_dslib.Harris_list.to_list_raw heap t)
+        | Hash_s ->
+            let module S = St_dslib.Hash_table.Make (G) in
+            let t = St_dslib.Hash_table.create_raw heap ~n_buckets:cfg.n_buckets in
+            St_dslib.Hash_table.populate_raw heap t ~keys:init_keys
+              ~note_link:inst.note_link;
+            let gens = Array.init cfg.threads set_gen in
+            run_workers
+              (worker_loop ~sched ~duration:cfg.duration ~ops_per_thread ~latency ~mk
+                 ~next:(fun tid -> St_workload.Workload.next_set_op gens.(tid))
+                 ~do_op:(fun th op ->
+                   match op with
+                   | St_workload.Workload.Contains k -> ignore (S.contains t th k)
+                   | St_workload.Workload.Insert k -> ignore (S.insert t th k)
+                   | St_workload.Workload.Delete k -> ignore (S.delete t th k))
+                 ~quiesce:G.quiesce);
+            List.length (St_dslib.Hash_table.to_list_raw heap t)
+        | Skiplist_s ->
+            let module S = St_dslib.Skiplist.Make (G) in
+            let t = St_dslib.Skiplist.create_raw heap in
+            St_dslib.Skiplist.populate_raw heap t ~keys:init_keys ~rng:setup_rng
+              ~note_link:inst.note_link;
+            let gens = Array.init cfg.threads set_gen in
+            run_workers
+              (worker_loop ~sched ~duration:cfg.duration ~ops_per_thread ~latency ~mk
+                 ~next:(fun tid -> St_workload.Workload.next_set_op gens.(tid))
+                 ~do_op:(fun th op ->
+                   match op with
+                   | St_workload.Workload.Contains k -> ignore (S.contains t th k)
+                   | St_workload.Workload.Insert k -> ignore (S.insert t th k)
+                   | St_workload.Workload.Delete k -> ignore (S.delete t th k))
+                 ~quiesce:G.quiesce);
+            List.length (St_dslib.Skiplist.to_list_raw heap t)
+        | Queue_s ->
+            let module S = St_dslib.Ms_queue.Make (G) in
+            let t = St_dslib.Ms_queue.create_raw heap in
+            St_dslib.Ms_queue.populate_raw heap t
+              ~values:(List.init cfg.init_size (fun i -> i))
+              ~note_link:inst.note_link;
+            let gens =
+              Array.init cfg.threads (fun tid ->
+                  St_workload.Workload.queue_gen ~mutation_pct:cfg.mutation_pct
+                    ~value_range:1024
+                    (Rng.create ~seed:(cfg.seed + (7919 * (tid + 1)))))
+            in
+            run_workers
+              (worker_loop ~sched ~duration:cfg.duration ~ops_per_thread ~latency ~mk
+                 ~next:(fun tid -> St_workload.Workload.next_queue_op gens.(tid))
+                 ~do_op:(fun th op ->
+                   match op with
+                   | St_workload.Workload.Enqueue v -> S.enqueue t th v
+                   | St_workload.Workload.Dequeue -> ignore (S.dequeue t th)
+                   | St_workload.Workload.Peek -> ignore (S.peek t th))
+                 ~quiesce:G.quiesce);
+            List.length (St_dslib.Ms_queue.to_list_raw heap t))
+  in
+
+  let total_ops = Array.fold_left ( + ) 0 ops_per_thread in
+  let makespan = Sched.global_time sched in
+  let reclaim_stats =
+    match inst.packed with Packed ((module G), s) -> G.stats s
+  in
+  {
+    cfg;
+    total_ops;
+    ops_per_thread;
+    makespan;
+    throughput = throughput_of ~ops:total_ops ~makespan;
+    htm = Tsx.total_stats tsx;
+    reclaim = reclaim_stats;
+    st = Option.map Stacktrack.Engine.scheme_stats inst.st_handle;
+    violations = Shadow.count shadow;
+    violation_samples = Shadow.first shadow;
+    allocs = Heap.allocs heap;
+    frees = Heap.frees heap;
+    live_at_end = Heap.live_objects heap;
+    context_switches = Sched.context_switches sched;
+    final_size;
+    leaked = Heap.live_objects heap - final_size;
+    latency;
+    live_samples = List.rev !live_samples;
+    peak_live = Heap.peak_live heap;
+  }

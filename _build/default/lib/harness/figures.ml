@@ -1,0 +1,603 @@
+(** One entry point per table/figure of the paper's evaluation (§6).
+
+    Workload scale note: the simulator executes every memory access of every
+    simulated thread, so structure sizes are scaled down from the paper's
+    (5K-node list -> 1K keys, 100K-node skip list -> 8K keys, 10K-node hash
+    -> 4K keys) to keep each data point to seconds of wall clock.  The
+    *relative* behaviour the figures demonstrate — scheme ordering, the
+    HyperThreading knee at 4 threads, the preemption cliff at 8 — is
+    preserved; see EXPERIMENTS.md for paper-vs-measured deltas. *)
+
+open Experiment
+
+type speed = Quick | Full
+
+let thread_points = function
+  | Quick -> [ 1; 2; 4; 6; 8; 12; 16 ]
+  | Full -> [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16 ]
+
+let duration = function Quick -> 400_000 | Full -> 1_500_000
+
+let list_config speed =
+  {
+    default_config with
+    structure = List_s;
+    key_range = 1024;
+    init_size = 512;
+    mutation_pct = 20;
+    duration = duration speed;
+  }
+
+let skiplist_config speed =
+  {
+    default_config with
+    structure = Skiplist_s;
+    key_range = 8192;
+    init_size = 4096;
+    mutation_pct = 20;
+    duration = duration speed;
+  }
+
+let queue_config speed =
+  {
+    default_config with
+    structure = Queue_s;
+    key_range = 1024;
+    init_size = 64;
+    mutation_pct = 20;
+    duration = duration speed;
+  }
+
+let hash_config speed =
+  {
+    default_config with
+    structure = Hash_s;
+    key_range = 4096;
+    init_size = 2048;
+    n_buckets = 512;
+    mutation_pct = 20;
+    duration = duration speed;
+  }
+
+let run_silent cfg = Experiment.run cfg
+
+(* Throughput sweep over threads x schemes. *)
+let throughput_sweep ?(verbose = false) ~speed ~base ~schemes () =
+  let threads = thread_points speed in
+  List.map
+    (fun t ->
+      ( t,
+        List.map
+          (fun scheme ->
+            let r = run_silent { base with scheme; threads = t } in
+            if verbose then Report.run_line r;
+            assert (r.violations = 0);
+            r)
+          schemes ))
+    threads
+
+let print_throughput ~title ~subtitle ~schemes rows =
+  Report.header ~title ~subtitle;
+  let columns = List.map scheme_name schemes in
+  let table =
+    List.map (fun (t, rs) -> (t, List.map (fun r -> r.throughput) rs)) rows
+  in
+  Report.series ~x_label:"threads" ~columns table;
+  Report.csv ~name:(String.lowercase_ascii (String.map (function ' ' -> '_' | c -> c) title))
+    ~x_label:"threads" ~columns table
+
+let set_schemes = [ Original; Hazards; Epoch; stacktrack_default ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: list and skip-list throughput                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_list ?verbose ~speed () =
+  let schemes = set_schemes @ [ Dta ] in
+  let rows = throughput_sweep ?verbose ~speed ~base:(list_config speed) ~schemes () in
+  print_throughput
+    ~title:"Figure 1a -- List: throughput vs threads"
+    ~subtitle:"1K keys (scaled from 5K), 20% mutations; ops per Mcycle"
+    ~schemes rows;
+  rows
+
+let fig1_skiplist ?verbose ~speed () =
+  let rows =
+    throughput_sweep ?verbose ~speed ~base:(skiplist_config speed)
+      ~schemes:set_schemes ()
+  in
+  print_throughput
+    ~title:"Figure 1b -- Skip list: throughput vs threads"
+    ~subtitle:"8K keys (scaled from 100K), 20% mutations; ops per Mcycle"
+    ~schemes:set_schemes rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: queue and hash-table throughput                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_queue ?verbose ~speed () =
+  let rows =
+    throughput_sweep ?verbose ~speed ~base:(queue_config speed)
+      ~schemes:set_schemes ()
+  in
+  print_throughput
+    ~title:"Figure 2a -- Queue: throughput vs threads"
+    ~subtitle:"20% mutations (enqueue/dequeue), 80% peek; ops per Mcycle"
+    ~schemes:set_schemes rows;
+  rows
+
+let fig2_hash ?verbose ~speed () =
+  let rows =
+    throughput_sweep ?verbose ~speed ~base:(hash_config speed)
+      ~schemes:set_schemes ()
+  in
+  print_throughput
+    ~title:"Figure 2b -- Hash table: throughput vs threads"
+    ~subtitle:"4K keys (scaled from 10K), 512 buckets, 20% mutations; ops per Mcycle"
+    ~schemes:set_schemes rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: HTM contention and capacity aborts (list, StackTrack)     *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_aborts ?(verbose = false) ~speed () =
+  let base = list_config speed in
+  let base = { base with duration = base.duration * 3 } in
+  let threads = thread_points speed in
+  let rows =
+    List.map
+      (fun t ->
+        let r = run_silent { base with scheme = stacktrack_default; threads = t } in
+        if verbose then Report.run_line r;
+        let segs = float_of_int (max 1 r.htm.St_htm.Htm_stats.starts) in
+        ( t,
+          [
+            float_of_int r.htm.St_htm.Htm_stats.conflict_aborts;
+            float_of_int r.htm.St_htm.Htm_stats.capacity_aborts;
+            float_of_int r.htm.St_htm.Htm_stats.conflict_aborts /. segs *. 1000.;
+            float_of_int r.htm.St_htm.Htm_stats.capacity_aborts /. segs *. 1000.;
+          ] ))
+      threads
+  in
+  Report.header
+    ~title:"Figure 3 -- List: HTM contention and capacity aborts (StackTrack)"
+    ~subtitle:
+      "totals over the run, and per 1000 transactional segments started";
+  Report.series ~x_label:"threads"
+    ~columns:[ "conflict"; "capacity"; "conf/1k-seg"; "cap/1k-seg" ]
+    rows;
+  Report.csv ~name:"fig3_aborts" ~x_label:"threads"
+    ~columns:[ "conflict"; "capacity"; "conf_per_kseg"; "cap_per_kseg" ]
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: average splits per operation and split lengths (list)     *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_splits ?(verbose = false) ~speed () =
+  (* Longer runs: the +-1-per-5-consecutive predictor (§5.3) converges
+     slowly ("able to achieve a good performance after 2 seconds"), so the
+     length trend needs volume. *)
+  let base = list_config speed in
+  let base = { base with duration = base.duration * 3 } in
+  let threads = thread_points speed in
+  let rows =
+    List.map
+      (fun t ->
+        let r = run_silent { base with scheme = stacktrack_default; threads = t } in
+        if verbose then Report.run_line r;
+        match r.st with
+        | None -> (t, [ Float.nan; Float.nan ])
+        | Some st ->
+            ( t,
+              [
+                Stacktrack.Scheme_stats.avg_splits_per_op st;
+                Stacktrack.Scheme_stats.avg_segment_length st;
+              ] ))
+      threads
+  in
+  Report.header
+    ~title:"Figure 4 -- List: HTM splits per operation and split lengths"
+    ~subtitle:"averages over committed segments (predictor-converged)";
+  Report.series ~x_label:"threads" ~columns:[ "splits/op"; "split-len" ] rows;
+  Report.csv ~name:"fig4_splits" ~x_label:"threads"
+    ~columns:[ "splits_per_op"; "split_len" ]
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: slow-path fallback impact (skip list)                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_slowpath ?(verbose = false) ~speed () =
+  let base = skiplist_config speed in
+  let threads =
+    match speed with Quick -> [ 1; 2; 4; 8; 12 ] | Full -> [ 1; 2; 4; 6; 8; 10; 12; 14 ]
+  in
+  let pcts = [ 0; 10; 50; 100 ] in
+  let rows =
+    List.map
+      (fun t ->
+        let thr pct =
+          let cfg =
+            Stacktrack_s { Stacktrack.St_config.default with forced_slow_pct = pct }
+          in
+          let r = run_silent { base with scheme = cfg; threads = t } in
+          if verbose then Report.run_line r;
+          r.throughput
+        in
+        let base_thr = thr 0 in
+        ( t,
+          base_thr
+          :: List.map
+               (fun pct -> if base_thr = 0. then 0. else thr pct /. base_thr *. 100.)
+               (List.tl pcts) ))
+      threads
+  in
+  Report.header
+    ~title:"Figure 5 -- Skip list: slow-path fallback impact"
+    ~subtitle:
+      "column 1: StackTrack-0 throughput (ops/Mcycle); others: % of slow-0";
+  Report.series ~x_label:"threads"
+    ~columns:[ "slow-0"; "slow-10 %"; "slow-50 %"; "slow-100 %" ]
+    rows;
+  Report.csv ~name:"fig5_slowpath" ~x_label:"threads"
+    ~columns:[ "slow0_thr"; "slow10_pct"; "slow50_pct"; "slow100_pct" ]
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* §6 "Scan behavior": scans, stack depth, amortization                *)
+(* ------------------------------------------------------------------ *)
+
+let scan_behavior ?(verbose = false) ~speed () =
+  let base = skiplist_config speed in
+  let threads =
+    match speed with Quick -> [ 1; 2; 4; 8; 16 ] | Full -> thread_points speed
+  in
+  let rows =
+    List.map
+      (fun t ->
+        let run max_free =
+          let cfg =
+            Stacktrack_s { Stacktrack.St_config.default with max_free }
+          in
+          run_silent { base with scheme = cfg; threads = t }
+        in
+        let r1 = run 1 in
+        let r10 = run 32 in
+        if verbose then begin
+          Report.run_line r1;
+          Report.run_line r10
+        end;
+        let stat r =
+          match r.st with
+          | None -> (Float.nan, Float.nan, Float.nan)
+          | Some st ->
+              ( float_of_int st.Stacktrack.Scheme_stats.scans,
+                (* Words inspected per scan pass: grows with the thread
+                   count, the paper's "average stack depth inspected
+                   increases linearly with the number of threads". *)
+                (if st.Stacktrack.Scheme_stats.scans = 0 then 0.
+                 else
+                   float_of_int st.Stacktrack.Scheme_stats.stack_words
+                   /. float_of_int st.Stacktrack.Scheme_stats.scans),
+                r.throughput )
+        in
+        let s1, d1, thr1 = stat r1 in
+        let s10, d10, thr10 = stat r10 in
+        ignore d1;
+        ignore s10;
+        ( t,
+          [
+            s1;
+            d10;
+            thr1;
+            thr10;
+            (if thr10 = 0. then 0. else (thr10 -. thr1) /. thr10 *. 100.);
+          ] ))
+      threads
+  in
+  Report.header
+    ~title:"Scan behavior (sec. 6) -- skip list"
+    ~subtitle:
+      "scan-per-free vs batched (max_free=32): depth grows with threads; \
+       batching amortizes the scan";
+  Report.series ~x_label:"threads"
+    ~columns:
+      [ "scans(b=1)"; "words/scan"; "thr(b=1)"; "thr(b=32)"; "penalty %" ]
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: operation-latency distribution                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Tail latency separates the schemes more sharply than throughput: the
+   epoch reclaimer's grace-period waits appear as multi-quantum p99 spikes,
+   hazard pointers inflate the median (a fence per node), StackTrack's
+   aborted-and-replayed segments widen the p95. *)
+let latency_profile ?(verbose = false) ~speed () =
+  let base = { (list_config speed) with mutation_pct = 40 } in
+  let schemes = [ Original; Hazards; Epoch; stacktrack_default; Dta ] in
+  Report.header
+    ~title:"Extension -- operation latency distribution (list, 12 threads)"
+    ~subtitle:"cycles per operation; epoch pays its grace waits in the tail";
+  Format.printf "%-12s %10s %10s %10s %10s %12s@." "scheme" "mean" "p50" "p95"
+    "p99" "max";
+  let rows =
+    List.map
+      (fun scheme ->
+        let r = run_silent { base with scheme; threads = 12 } in
+        if verbose then Report.run_line r;
+        let l = r.latency in
+        Format.printf "%-12s %10.0f %10d %10d %10d %12d@." (scheme_name scheme)
+          (Latency.mean l) (Latency.percentile l 50.)
+          (Latency.percentile l 95.) (Latency.percentile l 99.)
+          (Latency.max_value l);
+        (scheme, l))
+      schemes
+  in
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: StackTrack over software transactional memory            *)
+(* ------------------------------------------------------------------ *)
+
+(* Sec 7: "While StackTrack can also be executed using software
+   transactional memory, hardware support is essential for performance."
+   Same scheme, same workload, TL2-style STM backend: correctness carries
+   over (zero violations), throughput does not. *)
+let stm_vs_htm ?(verbose = false) ~speed () =
+  let base = list_config speed in
+  let threads = match speed with Quick -> [ 1; 4; 8 ] | Full -> [ 1; 2; 4; 8; 12; 16 ] in
+  Report.header
+    ~title:"Extension -- StackTrack over HTM vs STM (list)"
+    ~subtitle:"TL2-style software transactions: safe but slow (paper sec 7)";
+  let rows =
+    List.map
+      (fun t ->
+        let run backend =
+          let r =
+            run_silent
+              { base with scheme = stacktrack_default; threads = t; backend }
+          in
+          if verbose then Report.run_line r;
+          assert (r.violations = 0);
+          r.throughput
+        in
+        let htm = run St_htm.Tsx.Htm and stm = run St_htm.Tsx.Stm in
+        (t, [ htm; stm; (if htm = 0. then 0. else stm /. htm *. 100.) ]))
+      threads
+  in
+  Report.series ~x_label:"threads" ~columns:[ "HTM"; "STM"; "STM %" ] rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: memory footprint over time                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's qualitative claim made quantitative: "a thread crash can
+   result in an unbounded amount of unreclaimed memory" for quiescence
+   schemes (sec 1).  Thread 0 crashes at 25% of the run; live objects are
+   sampled over time: epoch's curve climbs from the crash onward while the
+   non-blocking schemes stay flat. *)
+let memory_profile ?(verbose = false) ~speed () =
+  let base =
+    let d = duration speed * 3 in
+    {
+      (list_config speed) with
+      mutation_pct = 80;
+      key_range = 256;
+      init_size = 128;
+      threads = 4;
+      duration = d;
+      crash_tids = [ 0 ];
+      sample_live = d / 12;
+    }
+  in
+  let schemes = [ Epoch; Hazards; stacktrack_default ] in
+  let per_scheme =
+    List.map
+      (fun scheme ->
+        let r = run_silent { base with scheme } in
+        if verbose then Report.run_line r;
+        assert (r.violations = 0);
+        (scheme, r))
+      schemes
+  in
+  Report.header
+    ~title:"Extension -- live objects over time (list, thread 0 crashes at 25%)"
+    ~subtitle:"epoch stops reclaiming at the crash; non-blocking schemes stay flat";
+  let n_samples =
+    List.fold_left
+      (fun acc (_, r) -> max acc (List.length r.live_samples))
+      0 per_scheme
+  in
+  let columns = List.map (fun (s, _) -> scheme_name s) per_scheme in
+  let rows =
+    List.init n_samples (fun i ->
+        let t =
+          match List.nth_opt (snd (List.hd per_scheme)).live_samples i with
+          | Some (t, _) -> t
+          | None -> 0
+        in
+        ( t,
+          List.map
+            (fun (_, r) ->
+              match List.nth_opt r.live_samples i with
+              | Some (_, live) -> float_of_int live
+              | None -> Float.nan)
+            per_scheme ))
+  in
+  Report.series ~x_label:"time" ~columns rows;
+  List.iter
+    (fun (scheme, r) ->
+      Report.note "%-12s mean reclamation lag=%-9.0f max=%-9d peak live=%d"
+        (scheme_name scheme)
+        (St_reclaim.Guard.mean_lag r.reclaim)
+        r.reclaim.St_reclaim.Guard.lag_max r.peak_live)
+    per_scheme;
+  per_scheme
+
+(* ------------------------------------------------------------------ *)
+(* Ablations beyond the paper's figures                                *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_predictor ?(verbose = false) ~speed () =
+  let base = list_config speed in
+  let threads = [ 4; 8; 16 ] in
+  let variants =
+    [
+      ("adaptive", Stacktrack.St_config.default);
+      ( "fixed-1",
+        { Stacktrack.St_config.default with initial_limit = 1; max_limit = 1 } );
+      ( "fixed-10",
+        {
+          Stacktrack.St_config.default with
+          initial_limit = 10;
+          min_limit = 10;
+          max_limit = 10;
+        } );
+      ( "fixed-200",
+        {
+          Stacktrack.St_config.default with
+          initial_limit = 200;
+          min_limit = 200;
+          max_limit = 200;
+        } );
+    ]
+  in
+  let rows =
+    List.map
+      (fun t ->
+        ( t,
+          List.map
+            (fun (_, cfg) ->
+              let r =
+                run_silent { base with scheme = Stacktrack_s cfg; threads = t }
+              in
+              if verbose then Report.run_line r;
+              r.throughput)
+            variants ))
+      threads
+  in
+  Report.header
+    ~title:"Ablation -- split-length predictor"
+    ~subtitle:"adaptive vs fixed split lengths (list, ops/Mcycle)";
+  Report.series ~x_label:"threads" ~columns:(List.map fst variants) rows;
+  rows
+
+let ablation_contention ?(verbose = false) ~speed:_ () =
+  (* Contended queue: effect of committing at CAS linearization points and
+     of conflict backoff (both on by default; see St_config). *)
+  let base =
+    {
+      default_config with
+      structure = Queue_s;
+      threads = 8;
+      duration = 400_000;
+      init_size = 64;
+      mutation_pct = 100;
+    }
+  in
+  let variants =
+    [
+      ("default", Stacktrack.St_config.default);
+      ( "no-cas-commit",
+        { Stacktrack.St_config.default with commit_after_cas = false } );
+      ("no-backoff", { Stacktrack.St_config.default with conflict_backoff = 0 });
+      ( "neither",
+        {
+          Stacktrack.St_config.default with
+          commit_after_cas = false;
+          conflict_backoff = 0;
+        } );
+    ]
+  in
+  Report.header
+    ~title:"Ablation -- contention countermeasures (queue, 8 threads, 100% enq/deq)"
+    ~subtitle:"CAS-point commits and conflict backoff vs doom-replay storms";
+  let rows =
+    List.map
+      (fun (name, cfg) ->
+        let r = run_silent { base with scheme = Stacktrack_s cfg } in
+        if verbose then Report.run_line r;
+        (name, r))
+      variants
+  in
+  List.iter
+    (fun (name, r) ->
+      Report.note "%-14s thr=%-9.1f conflicts=%-7d replays=%d" name
+        r.throughput r.htm.St_htm.Htm_stats.conflict_aborts
+        (match r.st with
+        | Some st -> st.Stacktrack.Scheme_stats.replays
+        | None -> 0))
+    rows;
+  rows
+
+let ablation_scan ?(verbose = false) ~speed () =
+  let base = list_config speed in
+  let threads = [ 4; 8; 16 ] in
+  let variants =
+    [
+      ("per-ptr", Stacktrack.St_config.default);
+      ("hash-scan", { Stacktrack.St_config.default with hash_scan = true });
+      ( "expose-final",
+        { Stacktrack.St_config.default with expose_on_final = true } );
+    ]
+  in
+  let rows =
+    List.map
+      (fun t ->
+        ( t,
+          List.map
+            (fun (_, cfg) ->
+              let r =
+                run_silent { base with scheme = Stacktrack_s cfg; threads = t }
+              in
+              if verbose then Report.run_line r;
+              r.throughput)
+            variants ))
+      threads
+  in
+  Report.header
+    ~title:"Ablation -- scan variant and final expose"
+    ~subtitle:
+      "per-pointer scan (Alg.1) vs single-pass hash scan (sec. 5.2) vs \
+       expose-on-final-commit (list, ops/Mcycle)";
+  Report.series ~x_label:"threads" ~columns:(List.map fst variants) rows;
+  rows
+
+let crash_resilience ?(verbose = false) ~speed:_ () =
+  (* Epoch stalls after a crash (unbounded leak); StackTrack and hazard
+     pointers keep reclaiming — the paper's §1/§6 robustness claim. *)
+  Report.header
+    ~title:"Crash resilience -- list, thread 0 crashed mid-run"
+    ~subtitle:"frees after crash; Epoch stops reclaiming, non-blocking schemes continue";
+  let base =
+    {
+      (list_config Quick) with
+      threads = 4;
+      duration = 1_200_000;
+      mutation_pct = 40;
+      crash_tids = [ 0 ];
+    }
+  in
+  let rows =
+    List.map
+      (fun scheme ->
+        let r = run_silent { base with scheme } in
+        if verbose then Report.run_line r;
+        (scheme_name scheme, r.frees, r.live_at_end, r.violations))
+      [ Epoch; Hazards; stacktrack_default ]
+  in
+  List.iter
+    (fun (name, frees, live, viol) ->
+      Report.note "%-12s frees=%-8d live-at-end=%-8d violations=%d" name frees
+        live viol)
+    rows;
+  rows

@@ -1,0 +1,85 @@
+(** Log-bucketed latency histogram (virtual cycles per operation).
+
+    Beyond the paper's throughput figures, tail latency separates the
+    schemes sharply: epoch's reclaim waits put multi-quantum spikes in the
+    tail, hazard pointers inflate the median, and StackTrack sits between —
+    a distribution view the harness reports alongside each sweep. *)
+
+type t = {
+  buckets : int array; (* bucket i counts values in [2^(i/2)] steps *)
+  mutable count : int;
+  mutable sum : int;
+  mutable max_v : int;
+}
+
+let n_buckets = 96
+
+let create () =
+  { buckets = Array.make n_buckets 0; count = 0; sum = 0; max_v = 0 }
+
+(* Half-power-of-two buckets: value v lands in bucket
+   floor(2 * log2 v), giving ~41% resolution across 2^48. *)
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let lg = ref 0 and x = ref v in
+    while !x > 1 do
+      incr lg;
+      x := !x lsr 1
+    done;
+    (* lg = floor(log2 v); refine with the half step. *)
+    let base = 2 * !lg in
+    let idx = if v land (1 lsl (!lg - 1)) <> 0 && !lg >= 1 then base + 1 else base in
+    min (n_buckets - 1) idx
+  end
+
+let bucket_low i =
+  let lg = i / 2 in
+  let base = 1 lsl lg in
+  if i land 1 = 0 then base else base + (base lsr 1)
+
+let record t v =
+  let v = max 0 v in
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+(* Percentile as the lower bound of the bucket containing the rank. *)
+let percentile t p =
+  assert (p >= 0. && p <= 100.);
+  if t.count = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    let acc = ref 0 and result = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= rank then begin
+           result := bucket_low i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let merge ts =
+  let acc = create () in
+  List.iter
+    (fun t ->
+      Array.iteri (fun i c -> acc.buckets.(i) <- acc.buckets.(i) + c) t.buckets;
+      acc.count <- acc.count + t.count;
+      acc.sum <- acc.sum + t.sum;
+      if t.max_v > acc.max_v then acc.max_v <- t.max_v)
+    ts;
+  acc
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d" t.count
+    (mean t) (percentile t 50.) (percentile t 95.) (percentile t 99.) t.max_v

@@ -1,0 +1,63 @@
+(** Table/series rendering for benchmark output.
+
+    Each figure prints as an aligned text table (rows = x-axis, columns =
+    series) plus an optional CSV block, so results can be eyeballed in a
+    terminal and also post-processed. *)
+
+let fpf = Format.printf
+
+let hline width = fpf "%s@." (String.make width '-')
+
+let header ~title ~subtitle =
+  fpf "@.";
+  hline 78;
+  fpf "%s@." title;
+  if subtitle <> "" then fpf "%s@." subtitle;
+  hline 78
+
+(* [series ~x_label ~columns rows] where each row is (x, values); values
+   are floats printed with 1 decimal. *)
+let series ~x_label ~columns rows =
+  let col_w = max 12 (List.fold_left (fun a c -> max a (String.length c + 2)) 0 columns) in
+  fpf "%-8s" x_label;
+  List.iter (fun c -> fpf "%*s" col_w c) columns;
+  fpf "@.";
+  List.iter
+    (fun (x, values) ->
+      fpf "%-8d" x;
+      List.iter
+        (fun v ->
+          if Float.is_nan v then fpf "%*s" col_w "-"
+          else fpf "%*.1f" col_w v)
+        values;
+      fpf "@.")
+    rows
+
+let csv ~name ~x_label ~columns rows =
+  fpf "csv:%s@." name;
+  fpf "%s,%s@." x_label (String.concat "," columns);
+  List.iter
+    (fun (x, values) ->
+      fpf "%d,%s@." x
+        (String.concat ","
+           (List.map
+              (fun v -> if Float.is_nan v then "" else Printf.sprintf "%.3f" v)
+              values)))
+    rows;
+  fpf "@."
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+(* One-line summary of a run, for verbose mode and debugging. *)
+let run_line (r : Experiment.result) =
+  let c = r.Experiment.cfg in
+  fpf
+    "  %-9s %-18s t=%-3d ops=%-9d thr=%-9.1f aborts[c/cap/i]=%d/%d/%d frees=%d \
+     live=%d viol=%d@."
+    (Experiment.structure_name c.Experiment.structure)
+    (Experiment.scheme_name c.Experiment.scheme)
+    c.Experiment.threads r.Experiment.total_ops r.Experiment.throughput
+    r.Experiment.htm.St_htm.Htm_stats.conflict_aborts
+    r.Experiment.htm.St_htm.Htm_stats.capacity_aborts
+    r.Experiment.htm.St_htm.Htm_stats.interrupt_aborts r.Experiment.frees
+    r.Experiment.live_at_end r.Experiment.violations

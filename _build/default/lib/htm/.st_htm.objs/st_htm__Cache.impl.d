@@ -1,0 +1,1 @@
+lib/htm/cache.ml: St_mem Word

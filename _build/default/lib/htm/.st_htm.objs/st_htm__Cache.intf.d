@@ -1,0 +1,1 @@
+lib/htm/cache.mli: St_mem

@@ -1,0 +1,1 @@
+lib/htm/htm_stats.ml: Format List

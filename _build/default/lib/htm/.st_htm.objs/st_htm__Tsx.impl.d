@@ -1,0 +1,1 @@
+lib/htm/tsx.ml: Array Cache Hashtbl Heap Htm_stats Option Rng Sched St_mem St_sim Topology

@@ -1,0 +1,1 @@
+lib/htm/tsx.mli: Cache Hashtbl Htm_stats St_mem St_sim

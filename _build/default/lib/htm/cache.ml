@@ -1,0 +1,22 @@
+open St_mem
+
+type t = {
+  line_shift : int;
+  sets : int;
+  ways : int;
+  reserved_ways : int;
+  sibling_evict_denom : int;
+  self_evict_denom : int;
+}
+
+let create ?(line_shift = 2) ?(sets = 64) ?(ways = 8) ?(reserved_ways = 2)
+    ?(sibling_evict_denom = 48) ?(self_evict_denom = 1200) () =
+  assert (sets > 0 && ways > 0 && line_shift >= 0);
+  assert (reserved_ways >= 0 && reserved_ways < ways);
+  assert (sibling_evict_denom > 0 && self_evict_denom > 0);
+  { line_shift; sets; ways; reserved_ways; sibling_evict_denom;
+    self_evict_denom }
+
+let line_of t (addr : Word.addr) = addr lsr t.line_shift
+let set_of t line = line mod t.sets
+let lines t = t.sets * t.ways

@@ -1,0 +1,52 @@
+(** Cache geometry of the modelled L1 data cache.
+
+    Haswell's L1d is 32 KB, 8-way set-associative with 64-byte lines:
+    64 sets x 8 ways.  A transaction's data set must fit in L1; with our
+    8-byte words a line holds {!line_words} words.  Capacity aborts are
+    triggered per cache *set*: as soon as a transaction's footprint needs
+    more ways in one set than the set has, the transaction cannot be tracked
+    and aborts.  This per-set model (rather than a flat line count) is what
+    makes capacity aborts probabilistic in the footprint size, as observed
+    on real TSX hardware, and lets SMT siblings sharing the L1 halve the
+    effective associativity — the mechanism behind the paper's capacity-abort
+    explosion in the 5-8 thread range (Figure 3). *)
+
+type t = private {
+  line_shift : int;
+  sets : int;
+  ways : int;
+  reserved_ways : int;
+      (** Ways per set occupied by non-transactional resident data (the
+          thread's stack, locals, allocator metadata): real TSX read sets
+          compete with that state, which is why pointer-chasing
+          transactions abort at footprints well below the nominal 32 KB. *)
+  sibling_evict_denom : int;
+      (** Probability that one memory access by the SMT sibling evicts a
+          speculative line (aborting the transaction) is
+          [footprint / (lines * sibling_evict_denom)].  This is the paper's
+          dominant capacity-abort mechanism in the 5-8 thread range: "pairs
+          of hardware threads share the same L1 cache ... the number of
+          capacity aborts increases by orders of magnitude" (§6). *)
+  self_evict_denom : int;
+      (** Same, for the thread's own non-transactional interference (stack
+          spills, statistics, allocator metadata); much rarer, and the
+          source of the baseline capacity-abort level at 1-4 threads. *)
+}
+
+val create :
+  ?line_shift:int ->
+  ?sets:int ->
+  ?ways:int ->
+  ?reserved_ways:int ->
+  ?sibling_evict_denom:int ->
+  ?self_evict_denom:int ->
+  unit ->
+  t
+(** Defaults: [line_shift = 3] (8 words = 64 bytes), [sets = 64],
+    [ways = 8], [reserved_ways = 2], [sibling_evict_denom = 4],
+    [self_evict_denom = 96]. *)
+
+val line_of : t -> St_mem.Word.addr -> int
+val set_of : t -> int -> int
+val lines : t -> int
+(** Total lines = sets * ways. *)

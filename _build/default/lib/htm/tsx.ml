@@ -1,0 +1,461 @@
+open St_sim
+open St_mem
+
+exception Abort of Htm_stats.abort_reason
+
+(* Transaction backend.  [Htm] is the TSX model (eager conflict dooming,
+   capacity and interrupt aborts).  [Stm] is a TL2-flavoured software
+   alternative: per-line versions with commit-time validation, no capacity
+   or interrupt aborts, but an instrumentation cost on every access and a
+   validation cost proportional to the read set at commit — the paper's
+   "StackTrack can also be executed using software transactional memory,
+   [but] hardware support is essential for performance" made measurable. *)
+type backend = Htm | Stm
+
+type txn = {
+  owner : int;
+  lines : (int, unit) Hashtbl.t; (* union footprint, for capacity *)
+  read_lines : (int, unit) Hashtbl.t;
+  write_lines : (int, unit) Hashtbl.t;
+  read_versions : (int, int) Hashtbl.t; (* STM: line -> version at 1st read *)
+  mutable rv : int; (* STM: global-clock snapshot at transaction start *)
+  set_occ : int array; (* distinct lines per cache set *)
+  writes : (int, int) Hashtbl.t; (* buffered stores *)
+  mutable doomed : Htm_stats.abort_reason option;
+}
+
+let max_threads = 256
+
+(* Debug facility: global per-line conflict-doom tally (reset per manager,
+   populated on every conflict doom).  Used to pinpoint hot lines when
+   diagnosing contention storms. *)
+let conflict_tally : (int, int) Hashtbl.t = Hashtbl.create 64
+
+type t = {
+  sched : Sched.t;
+  heap : Heap.t;
+  cache : Cache.t;
+  backend : backend;
+  txns : txn option array;
+  stats : Htm_stats.t array;
+  mutable line_versions : (int, int) Hashtbl.t; (* STM per-line versions *)
+  mutable stm_clock : int; (* STM global version clock (TL2) *)
+  evict_rng : Rng.t;
+  (* MESI-ish per-line coherence state: last owner and dirtiness.  A read
+     of a remotely-dirty line, or a write to a line anyone else touched
+     last, pays the coherence-miss latency. *)
+  line_state : (int, int * bool) Hashtbl.t; (* line -> (owner tid, dirty) *)
+}
+
+let create ?(cache = Cache.create ()) ?(backend = Htm) ~sched ~heap () =
+  let t =
+    {
+      sched;
+      heap;
+      cache;
+      backend;
+      txns = Array.make max_threads None;
+      line_versions = Hashtbl.create 4096;
+      stm_clock = 0;
+      stats = Array.init max_threads (fun _ -> Htm_stats.create ());
+      evict_rng = Rng.split (Sched.rng sched);
+      line_state = Hashtbl.create 4096;
+    }
+  in
+  Hashtbl.reset conflict_tally;
+  (* A timer interrupt / context switch clears the speculative cache state:
+     the in-flight transaction of a preempted (or crashed) thread dies. *)
+  (* Only hardware transactions die on preemption; software transactions
+     survive context switches. *)
+  if backend = Htm then
+    Sched.on_preempt sched (fun tid ->
+        match t.txns.(tid) with
+        | Some txn -> txn.doomed <- Some Htm_stats.Interrupt
+        | None -> ());
+  t
+
+let heap t = t.heap
+let sched t = t.sched
+let cache t = t.cache
+let stats t ~tid = t.stats.(tid)
+
+let total_stats t =
+  Htm_stats.merge (Array.to_list (Array.sub t.stats 0 max_threads))
+
+let costs t = Sched.costs t.sched
+let tid t = Sched.current t.sched
+
+let my_txn t = t.txns.(tid t)
+
+let in_txn t = my_txn t <> None
+
+let footprint txn = Hashtbl.length txn.lines
+
+let data_set_lines t = match my_txn t with Some x -> footprint x | None -> 0
+
+(* Discard the active transaction and deliver the abort to the caller. *)
+let do_abort t txn reason =
+  t.txns.(txn.owner) <- None;
+  Htm_stats.record_abort t.stats.(txn.owner) reason;
+  Sched.consume t.sched (costs t).htm_abort;
+  raise (Abort reason)
+
+let check_doomed t txn =
+  match txn.doomed with Some r -> do_abort t txn r | None -> ()
+
+(* Requester-wins conflict resolution: doom every *other* active transaction
+   for which [line] is in a conflicting set. *)
+let doom_conflicting t ~me ~line ~against_readers =
+  for other = 0 to max_threads - 1 do
+    if other <> me then
+      match t.txns.(other) with
+      | Some txn when txn.doomed = None ->
+          if
+            Hashtbl.mem txn.write_lines line
+            || (against_readers && Hashtbl.mem txn.read_lines line)
+          then begin
+            txn.doomed <- Some Htm_stats.Conflict;
+            Hashtbl.replace conflict_tally line
+              (1 + Option.value ~default:0 (Hashtbl.find_opt conflict_tally line))
+          end
+      | _ -> ()
+  done
+
+(* Cache-pressure eviction: every memory access can knock a speculative
+   line out of the L1 it shares with the accessor — the victim transaction
+   is doomed with a capacity abort.  Sibling traffic (two hyperthreads on
+   one L1) is the dominant source; a thread's own non-transactional
+   interference (stack, metadata) a rare one.  Probability scales with the
+   victim's footprint, so long transactions die first and the split-length
+   predictor reacts exactly as on real TSX. *)
+let pressure_evict t ~me =
+  if t.backend = Stm then ()
+  else
+  let total_lines = Cache.lines t.cache in
+  let consider victim_tid denom =
+    match t.txns.(victim_tid) with
+    | Some txn when txn.doomed = None ->
+        let fp = footprint txn in
+        if fp > 0 && Rng.int t.evict_rng (total_lines * denom) < fp then
+          txn.doomed <- Some Htm_stats.Capacity
+    | _ -> ()
+  in
+  (* Self-interference. *)
+  consider me t.cache.Cache.self_evict_denom;
+  (* Sibling interference: threads whose logical core shares our L1. *)
+  let topo = Sched.topology t.sched in
+  let my_lcore = Sched.lcore_of t.sched me in
+  match Topology.sibling topo my_lcore with
+  | None -> ()
+  | Some sib ->
+      for other = 0 to max_threads - 1 do
+        if other <> me then
+          match t.txns.(other) with
+          | Some txn when txn.doomed = None ->
+              if Sched.lcore_of t.sched txn.owner = sib then
+                consider other t.cache.Cache.sibling_evict_denom
+          | _ -> ()
+      done
+
+(* Coherence cost of touching [line]: reads miss on remotely-dirty lines
+   (dirty-forward + downgrade); writes miss unless this thread already owns
+   the line exclusively. *)
+let coherence_cost t ~me ~line ~is_write =
+  let extra =
+    match Hashtbl.find_opt t.line_state line with
+    | None -> if is_write then 0 else 0
+    | Some (owner, dirty) ->
+        if is_write then if owner = me && dirty then 0 else (costs t).coherence_miss
+        else if dirty && owner <> me then (costs t).coherence_miss
+        else 0
+  in
+  (if is_write then Hashtbl.replace t.line_state line (me, true)
+   else
+     match Hashtbl.find_opt t.line_state line with
+     | Some (owner, true) when owner <> me ->
+         (* Dirty line downgraded to shared on a remote read. *)
+         Hashtbl.replace t.line_state line (me, false)
+     | None -> Hashtbl.replace t.line_state line (me, false)
+     | Some _ -> ());
+  extra
+
+let effective_ways t =
+  let ways = t.cache.Cache.ways - t.cache.Cache.reserved_ways in
+  if Sched.sibling_active t.sched (tid t) then max 1 (ways / 2)
+  else max 1 ways
+
+(* Track [line] in the transaction's footprint; abort on associativity
+   overflow of its cache set. *)
+let track t txn line =
+  if not (Hashtbl.mem txn.lines line) then begin
+    if t.backend = Htm then begin
+      let set = Cache.set_of t.cache line in
+      let occ = txn.set_occ.(set) + 1 in
+      if occ > effective_ways t then do_abort t txn Htm_stats.Capacity;
+      txn.set_occ.(set) <- occ
+    end;
+    Hashtbl.replace txn.lines line ()
+  end
+
+(* STM helpers: a global per-line version clock bumped on every committed
+   or non-transactional write; transactions validate their read versions. *)
+let line_version t line =
+  Option.value ~default:0 (Hashtbl.find_opt t.line_versions line)
+
+let bump_line_version t line =
+  Hashtbl.replace t.line_versions line t.stm_clock
+
+(* TL2 read-time validation: a line written since the transaction started
+   aborts the reader immediately — this {e opacity} property is what makes
+   STM-backed StackTrack safe, because a stale pointer can never be chased
+   into reclaimed memory (the source line's version betrays the unlink). *)
+let stm_note_read t txn line =
+  let v = line_version t line in
+  if v > txn.rv then do_abort t txn Htm_stats.Conflict;
+  if not (Hashtbl.mem txn.read_versions line) then
+    Hashtbl.replace txn.read_versions line v
+
+let stm_validate t txn =
+  Hashtbl.iter
+    (fun line v0 ->
+      if line_version t line <> v0 then do_abort t txn Htm_stats.Conflict)
+    txn.read_versions
+
+let start t =
+  let me = tid t in
+  if t.txns.(me) <> None then invalid_arg "Tsx.start: transaction active";
+  let txn =
+    {
+      owner = me;
+      lines = Hashtbl.create 32;
+      read_lines = Hashtbl.create 32;
+      write_lines = Hashtbl.create 8;
+      read_versions = Hashtbl.create 32;
+      rv = t.stm_clock;
+      set_occ = Array.make t.cache.Cache.sets 0;
+      writes = Hashtbl.create 8;
+      doomed = None;
+    }
+  in
+  t.txns.(me) <- Some txn;
+  t.stats.(me).starts <- t.stats.(me).starts + 1;
+  Sched.consume t.sched (costs t).htm_begin
+
+let txn_read t txn addr =
+  pressure_evict t ~me:txn.owner;
+  check_doomed t txn;
+  let line = Cache.line_of t.cache addr in
+  track t txn line;
+  Hashtbl.replace txn.read_lines line ();
+  (match t.backend with
+  | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:false
+  | Stm -> stm_note_read t txn line);
+  let v =
+    match Hashtbl.find_opt txn.writes addr with
+    | Some v -> v
+    | None -> Heap.read t.heap ~tid:txn.owner addr
+  in
+  let miss = coherence_cost t ~me:txn.owner ~line ~is_write:false in
+  (* STM pays instrumentation on every shared read (version load +
+     read-set bookkeeping). *)
+  let instr = if t.backend = Stm then (costs t).load + (costs t).store else 0 in
+  Sched.consume t.sched ((costs t).load + miss + instr);
+  v
+
+let txn_write t txn addr v =
+  pressure_evict t ~me:txn.owner;
+  check_doomed t txn;
+  let line = Cache.line_of t.cache addr in
+  track t txn line;
+  Hashtbl.replace txn.write_lines line ();
+  (match t.backend with
+  | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:true
+  | Stm -> stm_note_read t txn line);
+  Hashtbl.replace txn.writes addr v;
+  let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
+  let instr = if t.backend = Stm then (costs t).store else 0 in
+  Sched.consume t.sched ((costs t).store + miss + instr)
+
+let read t addr =
+  match my_txn t with
+  | Some txn -> txn_read t txn addr
+  | None -> invalid_arg "Tsx.read: no active transaction"
+
+let write t addr v =
+  match my_txn t with
+  | Some txn -> txn_write t txn addr v
+  | None -> invalid_arg "Tsx.write: no active transaction"
+
+let commit t =
+  match my_txn t with
+  | None -> invalid_arg "Tsx.commit: no active transaction"
+  | Some txn ->
+      check_doomed t txn;
+      (* The commit latency is charged (and the scheduler yielded) BEFORE
+         publication, and the doom flag re-checked after the yield: once
+         [commit] returns, the buffer has been applied atomically and the
+         caller may perform further same-step state changes (StackTrack's
+         register expose) that must be indivisible from the commit, exactly
+         as the expose stores belong to the hardware transaction. *)
+      let commit_cost =
+        match t.backend with
+        | Htm -> (costs t).htm_commit
+        | Stm ->
+            (* Lock acquisition per written line + validation per read
+               line (TL2). *)
+            (costs t).htm_commit
+            + (Hashtbl.length txn.read_versions * (costs t).load)
+            + (Hashtbl.length txn.write_lines * (costs t).cas)
+      in
+      Sched.consume t.sched commit_cost;
+      check_doomed t txn;
+      if t.backend = Stm then stm_validate t txn;
+      let me = txn.owner in
+      Hashtbl.iter (fun addr v -> Heap.write t.heap ~tid:me addr v) txn.writes;
+      if t.backend = Stm && Hashtbl.length txn.write_lines > 0 then begin
+        t.stm_clock <- t.stm_clock + 1;
+        Hashtbl.iter (fun line () -> bump_line_version t line) txn.write_lines
+      end;
+      t.txns.(me) <- None;
+      t.stats.(me).commits <- t.stats.(me).commits + 1;
+      t.stats.(me).data_set_lines <-
+        t.stats.(me).data_set_lines + footprint txn
+
+let abort t =
+  match my_txn t with
+  | None -> invalid_arg "Tsx.abort: no active transaction"
+  | Some txn -> do_abort t txn Htm_stats.Explicit
+
+(* Non-transactional accesses.  If the calling thread happens to be inside a
+   transaction, the access is transactional anyway (as on real hardware,
+   where every instruction between xbegin and xend is speculative). *)
+
+let nt_read t addr =
+  match my_txn t with
+  | Some txn -> txn_read t txn addr
+  | None ->
+      let me = tid t in
+      pressure_evict t ~me;
+      let line = Cache.line_of t.cache addr in
+      doom_conflicting t ~me ~line ~against_readers:false;
+      let v = Heap.read t.heap ~tid:me addr in
+      let miss = coherence_cost t ~me ~line ~is_write:false in
+      Sched.consume t.sched ((costs t).load + miss);
+      v
+
+let nt_write t addr v =
+  match my_txn t with
+  | Some txn -> txn_write t txn addr v
+  | None ->
+      let me = tid t in
+      pressure_evict t ~me;
+      let line = Cache.line_of t.cache addr in
+      doom_conflicting t ~me ~line ~against_readers:true;
+      Heap.write t.heap ~tid:me addr v;
+      if t.backend = Stm then begin
+        t.stm_clock <- t.stm_clock + 1;
+        bump_line_version t line
+      end;
+      let miss = coherence_cost t ~me ~line ~is_write:true in
+      Sched.consume t.sched ((costs t).store + miss)
+
+let nt_cas t addr ~expect desired =
+  match my_txn t with
+  | Some txn ->
+      check_doomed t txn;
+      let line = Cache.line_of t.cache addr in
+      track t txn line;
+      Hashtbl.replace txn.read_lines line ();
+      let cur =
+        match Hashtbl.find_opt txn.writes addr with
+        | Some v -> v
+        | None -> Heap.read t.heap ~tid:txn.owner addr
+      in
+      let ok = cur = expect in
+      (* Same TTAS discipline transactionally: only a winning CAS adds the
+         line to the write set and dooms conflicting readers. *)
+      if ok then begin
+        Hashtbl.replace txn.write_lines line ();
+        doom_conflicting t ~me:txn.owner ~line ~against_readers:true;
+        Hashtbl.replace txn.writes addr desired
+      end
+      else doom_conflicting t ~me:txn.owner ~line ~against_readers:false;
+      Sched.consume t.sched (costs t).cas;
+      ok
+  | None ->
+      (* Test-and-test-and-set discipline: a CAS that is going to fail
+         performs only the shared read and never takes the line exclusive,
+         so it cannot doom readers.  Without this, helping herds (several
+         traversals all trying to unlink the same marked node) doom each
+         other quadratically. *)
+      let me = tid t in
+      let line = Cache.line_of t.cache addr in
+      let cur = Heap.read t.heap ~tid:me addr in
+      let ok = cur = expect in
+      doom_conflicting t ~me ~line ~against_readers:ok;
+      if ok then begin
+        Heap.write t.heap ~tid:me addr desired;
+        if t.backend = Stm then begin
+          t.stm_clock <- t.stm_clock + 1;
+          bump_line_version t line
+        end
+      end;
+      let miss = coherence_cost t ~me ~line ~is_write:ok in
+      Sched.consume t.sched ((costs t).cas + miss);
+      ok
+
+let nt_fetch_add t addr delta =
+  match my_txn t with
+  | Some txn ->
+      check_doomed t txn;
+      let line = Cache.line_of t.cache addr in
+      track t txn line;
+      Hashtbl.replace txn.read_lines line ();
+      Hashtbl.replace txn.write_lines line ();
+      doom_conflicting t ~me:txn.owner ~line ~against_readers:true;
+      let cur =
+        match Hashtbl.find_opt txn.writes addr with
+        | Some v -> v
+        | None -> Heap.read t.heap ~tid:txn.owner addr
+      in
+      Hashtbl.replace txn.writes addr (cur + delta);
+      Sched.consume t.sched (costs t).fetch_add;
+      cur
+  | None ->
+      let me = tid t in
+      let line = Cache.line_of t.cache addr in
+      doom_conflicting t ~me ~line ~against_readers:true;
+      let cur = Heap.read t.heap ~tid:me addr in
+      Heap.write t.heap ~tid:me addr (cur + delta);
+      if t.backend = Stm then begin
+        t.stm_clock <- t.stm_clock + 1;
+        bump_line_version t line
+      end;
+      let miss = coherence_cost t ~me ~line ~is_write:true in
+      Sched.consume t.sched ((costs t).fetch_add + miss);
+      cur
+
+let fence t = Sched.consume t.sched (costs t).fence
+
+let free t addr =
+  let me = tid t in
+  (match Heap.size_of t.heap addr with
+  | Some size ->
+      (* Freeing behaves like a write to every line of the object: any
+         uncommitted transaction that speculatively read the object must
+         abort rather than observe reclaimed memory. *)
+      let first = Cache.line_of t.cache addr in
+      let last = Cache.line_of t.cache (addr + size - 1) in
+      if t.backend = Stm then t.stm_clock <- t.stm_clock + 1;
+      for line = first to last do
+        doom_conflicting t ~me ~line ~against_readers:true;
+        if t.backend = Stm then bump_line_version t line
+      done
+  | None -> ());
+  Heap.free t.heap ~tid:me addr;
+  Sched.consume t.sched (costs t).free
+
+let alloc t ~size =
+  let a = Heap.alloc t.heap ~tid:(tid t) ~size in
+  Sched.consume t.sched (costs t).alloc;
+  a

@@ -1,0 +1,1 @@
+lib/machine/activity.ml: Array Ctx

@@ -1,0 +1,1 @@
+lib/machine/ctx.mli: St_mem

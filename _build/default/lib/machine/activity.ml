@@ -1,0 +1,25 @@
+let max_threads = 256
+
+type t = { slots : Ctx.t option array; mutable count : int }
+
+let create () = { slots = Array.make max_threads None; count = 0 }
+
+let register t ctx =
+  let tid = Ctx.tid ctx in
+  if t.slots.(tid) = None then begin
+    t.slots.(tid) <- Some ctx;
+    t.count <- t.count + 1
+  end
+
+let deregister t ~tid =
+  if t.slots.(tid) <> None then begin
+    t.slots.(tid) <- None;
+    t.count <- t.count - 1
+  end
+
+let get t ~tid = t.slots.(tid)
+
+let iter t f =
+  Array.iter (function Some ctx -> f ctx | None -> ()) t.slots
+
+let count t = t.count

@@ -1,0 +1,22 @@
+(** The global activity array (paper §5.2).
+
+    "Whenever accessing the data structure, each thread registers itself
+    into a global activity array ... the activity array allows each active
+    thread to be found by other threads."  A reclaiming thread iterates this
+    array to inspect every other thread's exposed stack and registers. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> Ctx.t -> unit
+(** Idempotent per tid. *)
+
+val deregister : t -> tid:int -> unit
+
+val get : t -> tid:int -> Ctx.t option
+
+val iter : t -> (Ctx.t -> unit) -> unit
+(** Visit every registered context, in tid order. *)
+
+val count : t -> int

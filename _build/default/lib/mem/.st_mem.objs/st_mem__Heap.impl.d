@@ -1,0 +1,1 @@
+lib/mem/heap.ml: Array Hashtbl Queue Shadow Word

@@ -1,0 +1,1 @@
+lib/mem/heap.mli: Shadow Word

@@ -1,0 +1,1 @@
+lib/mem/shadow.ml: Array Format List Word

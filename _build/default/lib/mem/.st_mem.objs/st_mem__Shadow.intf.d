@@ -1,0 +1,1 @@
+lib/mem/shadow.mli: Format Word

@@ -1,0 +1,164 @@
+type t = {
+  shadow : Shadow.t;
+  mutable words : int array; (* indexed by addr *)
+  mutable owner : int array; (* addr -> live object base, 0 when dead *)
+  mutable obj_size : int array; (* base addr -> size, valid while live *)
+  mutable brk : int; (* next never-used address *)
+  free_lists : (int, Word.addr list ref) Hashtbl.t; (* size -> LIFO *)
+  quarantine : (Word.addr * int) Queue.t; (* freed blocks awaiting reuse *)
+  quarantine_max : int;
+  align : int;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable live : int;
+  mutable peak : int;
+  mutable words_live : int;
+}
+
+let poison = 0x0DEAD
+
+let create ?(initial_words = 1 lsl 16) ?(quarantine = 128) ?(align = 4)
+    ~shadow () =
+  assert (align >= 1);
+  let cap = max initial_words (Word.heap_base * 2) in
+  {
+    shadow;
+    align;
+    words = Array.make cap 0;
+    owner = Array.make cap 0;
+    obj_size = Array.make cap 0;
+    brk = Word.heap_base;
+    free_lists = Hashtbl.create 8;
+    quarantine = Queue.create ();
+    quarantine_max = quarantine;
+    allocs = 0;
+    frees = 0;
+    live = 0;
+    peak = 0;
+    words_live = 0;
+  }
+
+let shadow t = t.shadow
+
+let ensure_capacity t needed =
+  let cap = Array.length t.words in
+  if needed > cap then begin
+    let cap' = ref cap in
+    while needed > !cap' do
+      cap' := !cap' * 2
+    done;
+    let grow a fill =
+      let a' = Array.make !cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.words <- grow t.words 0;
+    t.owner <- grow t.owner 0;
+    t.obj_size <- grow t.obj_size 0
+  end
+
+let in_heap t addr = addr >= Word.heap_base && addr < t.brk
+
+let claim t base size =
+  for i = base to base + size - 1 do
+    t.owner.(i) <- base;
+    t.words.(i) <- 0
+  done;
+  t.obj_size.(base) <- size;
+  t.allocs <- t.allocs + 1;
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live;
+  t.words_live <- t.words_live + size
+
+(* Sizes are rounded up to the arena chunk granularity (cache-line sized by
+   default), like any allocator that wants to avoid false sharing between
+   objects handed to different threads.  Bases are always at least 2-aligned
+   so the low pointer bit stays free for list deletion marks. *)
+let effective_align t = max 2 t.align
+
+let chunk_size t size =
+  let a = effective_align t in
+  (size + a - 1) / a * a
+
+let alloc t ~tid:_ ~size =
+  assert (size >= 1);
+  let size = chunk_size t size in
+  match Hashtbl.find_opt t.free_lists size with
+  | Some ({ contents = base :: rest } as cell) ->
+      cell := rest;
+      claim t base size;
+      base
+  | Some { contents = [] } | None ->
+      let a = effective_align t in
+      let base = (t.brk + a - 1) / a * a in
+      ensure_capacity t (base + size + 1);
+      t.brk <- base + size;
+      claim t base size;
+      base
+
+let is_allocated t addr = in_heap t addr && t.owner.(addr) = addr
+
+let size_of t addr = if is_allocated t addr then Some t.obj_size.(addr) else None
+
+let base_of t v =
+  if in_heap t v && t.owner.(v) <> 0 then Some t.owner.(v) else None
+
+let free t ~tid addr =
+  if not (in_heap t addr) then
+    Shadow.record t.shadow Bad_free ~addr ~tid
+  else if t.owner.(addr) <> addr then
+    (* Either an interior pointer or an already-freed base. *)
+    Shadow.record t.shadow
+      (if t.obj_size.(addr) > 0 && t.owner.(addr) = 0 then Double_free
+       else Bad_free)
+      ~addr ~tid
+  else begin
+    let size = t.obj_size.(addr) in
+    for i = addr to addr + size - 1 do
+      t.owner.(i) <- 0;
+      t.words.(i) <- poison
+    done;
+    t.frees <- t.frees + 1;
+    t.live <- t.live - 1;
+    t.words_live <- t.words_live - size;
+    (* Freed blocks sit in a bounded quarantine before becoming allocatable
+       again, so that a use-after-free by a stale reader hits a dead word
+       (and is reported) instead of silently aliasing a fresh allocation —
+       same idea as ASan's quarantine. *)
+    Queue.push (addr, size) t.quarantine;
+    if Queue.length t.quarantine > t.quarantine_max then begin
+      let old_addr, old_size = Queue.pop t.quarantine in
+      let cell =
+        match Hashtbl.find_opt t.free_lists old_size with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add t.free_lists old_size c;
+            c
+      in
+      cell := old_addr :: !cell
+    end
+  end
+
+let read t ~tid addr =
+  if in_heap t addr && t.owner.(addr) <> 0 then t.words.(addr)
+  else begin
+    Shadow.record t.shadow Read_after_free ~addr ~tid;
+    if addr >= 0 && addr < Array.length t.words then t.words.(addr) else poison
+  end
+
+let write t ~tid addr v =
+  if in_heap t addr && t.owner.(addr) <> 0 then t.words.(addr) <- v
+  else begin
+    Shadow.record t.shadow Write_after_free ~addr ~tid;
+    if addr >= 0 && addr < Array.length t.words then t.words.(addr) <- v
+  end
+
+let peek t addr =
+  if addr >= 0 && addr < Array.length t.words then t.words.(addr) else poison
+
+let allocs t = t.allocs
+let frees t = t.frees
+let live_objects t = t.live
+let peak_live t = t.peak
+let words_in_use t = t.words_live

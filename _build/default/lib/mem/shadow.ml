@@ -1,0 +1,43 @@
+type kind = Read_after_free | Write_after_free | Double_free | Bad_free
+
+type violation = { kind : kind; addr : Word.addr; tid : int }
+
+exception Violation of violation
+
+type t = {
+  strict : bool;
+  mutable total : int;
+  counts : int array; (* indexed by kind *)
+  mutable kept : violation list; (* reversed; first 16 *)
+}
+
+let kind_index = function
+  | Read_after_free -> 0
+  | Write_after_free -> 1
+  | Double_free -> 2
+  | Bad_free -> 3
+
+let kind_to_string = function
+  | Read_after_free -> "read-after-free"
+  | Write_after_free -> "write-after-free"
+  | Double_free -> "double-free"
+  | Bad_free -> "bad-free"
+
+let create ?(strict = false) () =
+  { strict; total = 0; counts = Array.make 4 0; kept = [] }
+
+let record t kind ~addr ~tid =
+  let v = { kind; addr; tid } in
+  t.total <- t.total + 1;
+  let i = kind_index kind in
+  t.counts.(i) <- t.counts.(i) + 1;
+  if List.length t.kept < 16 then t.kept <- v :: t.kept;
+  if t.strict then raise (Violation v)
+
+let count t = t.total
+let count_kind t k = t.counts.(kind_index k)
+let first t = List.rev t.kept
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s at %#x by thread %d" (kind_to_string v.kind) v.addr
+    v.tid

@@ -1,0 +1,8 @@
+type addr = int
+type value = int
+
+let null = 0
+let heap_base = 0x1000
+let is_marked v = v land 1 = 1
+let mark v = v lor 1
+let unmark v = v land lnot 1

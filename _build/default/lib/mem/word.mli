@@ -1,0 +1,22 @@
+(** Word values of the simulated machine.
+
+    A simulated word is an OCaml [int].  Pointers are word addresses into the
+    simulated heap; address 0 is the null pointer (the heap's first real word
+    lives at {!heap_base}).  Lock-free list algorithms steal the low bit of a
+    pointer as a deletion mark, which is sound here because all objects are
+    at least word-aligned and [heap_base] is even. *)
+
+type addr = int
+type value = int
+
+val null : addr
+
+val heap_base : addr
+(** First valid heap address.  Chosen non-zero and even so that null, small
+    integers and marked pointers are distinguishable from object addresses. *)
+
+val is_marked : value -> bool
+(** Low-bit deletion mark used by Harris-style lists. *)
+
+val mark : value -> value
+val unmark : value -> value

@@ -1,0 +1,1 @@
+lib/reclaim/dta.ml: Array Guard Hashtbl List Sched Simple St_htm St_mem St_sim Tsx Vec Word

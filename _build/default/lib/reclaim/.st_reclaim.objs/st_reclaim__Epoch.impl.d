@@ -1,0 +1,1 @@
+lib/reclaim/epoch.ml: Array Guard List Sched Simple St_htm St_mem St_sim Tsx Vec

@@ -1,0 +1,1 @@
+lib/reclaim/guard.ml: Hashtbl List Sched St_htm St_machine St_mem St_sim Tsx Word

@@ -1,0 +1,1 @@
+lib/reclaim/immediate.ml: Guard Sched Simple St_htm St_sim Tsx

@@ -1,0 +1,1 @@
+lib/reclaim/refcount.ml: Array Guard Hashtbl Heap Option Sched Simple St_htm St_mem St_sim Tsx Word

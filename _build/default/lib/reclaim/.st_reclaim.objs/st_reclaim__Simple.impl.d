@@ -1,0 +1,1 @@
+lib/reclaim/simple.ml: Array Guard Rng Sched St_htm St_machine St_mem St_sim Tsx Word

@@ -1,0 +1,170 @@
+(** The common interface between concurrent data structures and memory
+    reclamation schemes.
+
+    Every data structure in [st_dslib] is a functor over {!S}, so the same
+    algorithm runs unchanged under StackTrack, hazard pointers, epochs,
+    reference counting, drop-the-anchor, immediate (unsafe) freeing, or no
+    reclamation at all — mirroring the paper's benchmark methodology.
+
+    The contract for operation bodies passed to {!S.run_op}:
+
+    - All shared-memory access goes through the [env] operations; all
+      randomness through [rand]; all allocation through [alloc]/[retire].
+    - The body must be a deterministic function of the values returned by
+      those operations: StackTrack re-executes the body after a hardware
+      abort, replaying the already-committed prefix from a log (this models
+      the register rollback + re-execution of a real HTM segment restart).
+      Bodies must not mutate OCaml state other than through [env].
+    - A simulated pointer that will still be dereferenced after the next
+      [env] memory operation must be stored in a frame local ([local_set]):
+      frame locals and the 16 most recently loaded values are what a
+      reclaiming thread's scan can see, exactly like spilled locals and
+      registers of compiled code.  (Violations of this discipline are not
+      type errors; they are caught by the use-after-free shadow checker in
+      the stress tests.)
+    - [protected_read ~slot] marks loads of node pointers that the thread
+      will traverse through.  Pointer-based schemes (hazard pointers,
+      reference counting, drop-the-anchor) hook their per-node protection
+      here — the manual, structure-specific effort the paper criticises.
+      Automatic schemes (StackTrack, epoch, none) treat it as a plain
+      read. *)
+
+open St_sim
+open St_mem
+open St_htm
+
+(* Shared simulation plumbing handed to every scheme. *)
+type runtime = {
+  sched : Sched.t;
+  tsx : Tsx.t;
+  activity : St_machine.Activity.t;
+}
+
+let make_runtime ~sched ~tsx =
+  { sched; tsx; activity = St_machine.Activity.create () }
+
+let heap rt = Tsx.heap rt.tsx
+
+(* Counters common to all schemes; figures and tests read these.  The
+   retire/free bookkeeping also measures {e reclamation lag} — the virtual
+   time between a node's retirement and its return to the allocator — which
+   distinguishes prompt schemes (immediate refcount drops) from batched
+   ones (scans) from stalling ones (epoch under delays). *)
+type stats = {
+  mutable retired : int;  (** Nodes handed to [retire]. *)
+  mutable freed : int;  (** Nodes actually returned to the allocator. *)
+  mutable scans : int;  (** Reclamation passes (scan/collect rounds). *)
+  mutable scan_words : int;  (** Words inspected by scans. *)
+  mutable stall_cycles : int;  (** Cycles spent blocked (epoch waits). *)
+  mutable protect_fences : int;  (** Fences issued by per-read validation. *)
+  retire_stamp : (int, int) Hashtbl.t;  (** addr -> retire time (pending). *)
+  mutable lag_sum : int;  (** Sum of retire->free lags, freed nodes. *)
+  mutable lag_max : int;
+}
+
+let make_stats () =
+  {
+    retired = 0;
+    freed = 0;
+    scans = 0;
+    scan_words = 0;
+    stall_cycles = 0;
+    protect_fences = 0;
+    retire_stamp = Hashtbl.create 64;
+    lag_sum = 0;
+    lag_max = 0;
+  }
+
+(* Schemes call these from their retire/free paths (in addition to their
+   own counters) so reclamation lag is measured uniformly. *)
+let note_retire stats ~now addr =
+  stats.retired <- stats.retired + 1;
+  Hashtbl.replace stats.retire_stamp addr now
+
+let note_free stats ~now addr =
+  stats.freed <- stats.freed + 1;
+  match Hashtbl.find_opt stats.retire_stamp addr with
+  | Some t0 ->
+      let lag = now - t0 in
+      Hashtbl.remove stats.retire_stamp addr;
+      stats.lag_sum <- stats.lag_sum + lag;
+      if lag > stats.lag_max then stats.lag_max <- lag
+  | None -> ()
+
+let mean_lag stats =
+  if stats.freed = 0 then 0.
+  else float_of_int stats.lag_sum /. float_of_int stats.freed
+
+let merge_stats ss =
+  let acc = make_stats () in
+  List.iter
+    (fun s ->
+      acc.retired <- acc.retired + s.retired;
+      acc.freed <- acc.freed + s.freed;
+      acc.scans <- acc.scans + s.scans;
+      acc.scan_words <- acc.scan_words + s.scan_words;
+      acc.stall_cycles <- acc.stall_cycles + s.stall_cycles;
+      acc.protect_fences <- acc.protect_fences + s.protect_fences;
+      acc.lag_sum <- acc.lag_sum + s.lag_sum;
+      if s.lag_max > acc.lag_max then acc.lag_max <- s.lag_max)
+    ss;
+  acc
+
+module type S = sig
+  type t
+  (** Scheme instance, shared by all threads of a run. *)
+
+  type thread
+  (** Per-thread reclamation state. *)
+
+  type env
+  (** Handle threaded through one data-structure operation. *)
+
+  val name : string
+
+  val create_thread : t -> tid:int -> thread
+  (** Must be called from within the simulated thread's body. *)
+
+  val run_op : thread -> op_id:int -> (env -> 'a) -> 'a
+  (** Run one data-structure operation.  The body may be invoked several
+      times (see the module comment); its final return value is returned. *)
+
+  val read : env -> Word.addr -> Word.value
+  val write : env -> Word.addr -> Word.value -> unit
+  val cas : env -> Word.addr -> expect:Word.value -> Word.value -> bool
+
+  val protected_read : env -> slot:int -> Word.addr -> Word.value
+  (** Load a node pointer the thread is about to traverse through,
+      announcing it to the scheme if the scheme needs announcements. *)
+
+  val release : env -> slot:int -> unit
+  (** Drop the protection of [slot] (no-op for automatic schemes). *)
+
+  val protect_value : env -> slot:int -> Word.value -> unit
+  (** Publish protection for a value that is {e already} safe to hold —
+      either still thread-private (a freshly allocated node about to be
+      published) or currently protected by another slot (Michael's
+      [hp0 := hp1] hazard-copy idiom, needed by the skip list to pin
+      per-level predecessors).  Unlike {!protected_read} no validation is
+      required, precisely because of that precondition. *)
+
+  val local_set : env -> int -> Word.value -> unit
+  val local_get : env -> int -> Word.value
+
+  val block : env -> unit
+  (** Explicit basic-block boundary (StackTrack split checkpoint site). *)
+
+  val rand : env -> int -> int
+  (** Deterministic, replay-stable randomness in [\[0, bound)]. *)
+
+  val alloc : env -> size:int -> Word.addr
+  val retire : env -> Word.addr -> unit
+  (** Hand an unlinked node to the scheme for eventual freeing. *)
+
+  val quiesce : thread -> unit
+  (** Between-operations hook: flush per-thread buffers so that a thread
+      that stops issuing operations does not hold back reclamation forever
+      (used at the end of benchmark runs and in tests). *)
+
+  val stats : t -> stats
+end

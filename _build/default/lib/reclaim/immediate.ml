@@ -1,0 +1,38 @@
+(** Deliberately unsafe scheme: frees a node the instant it is retired.
+
+    Under concurrency this is incorrect — other threads may still hold
+    references — and its purpose is to prove that the shadow checker
+    actually catches unsafe reclamation (so a clean run of the safe schemes
+    means something). *)
+
+open St_sim
+open St_htm
+
+module Hooks = struct
+  type t = { rt : Guard.runtime; stats : Guard.stats }
+  type thread = t
+
+  let name = "immediate-unsafe"
+  let runtime t = t.rt
+  let stats t = t.stats
+  let create_thread t ~tid:_ = t
+  let on_begin _ ~op_id:_ = ()
+  let on_end _ = ()
+  let protected_read th ~slot:_ addr = Tsx.nt_read th.rt.Guard.tsx addr
+  let release _ ~slot:_ = ()
+  let protect_value _ ~slot:_ _ = ()
+
+  let retire th addr =
+    let now = Sched.now th.rt.Guard.sched in
+    Guard.note_retire th.stats ~now addr;
+    Tsx.free th.rt.Guard.tsx addr;
+    Guard.note_free th.stats ~now:(Sched.now th.rt.Guard.sched) addr
+
+  let quiesce _ = ()
+  let write th addr v = Tsx.nt_write th.rt.Guard.tsx addr v
+  let cas th addr ~expect v = Tsx.nt_cas th.rt.Guard.tsx addr ~expect v
+end
+
+include Simple.Make (Hooks)
+
+let create rt = { Hooks.rt; stats = Guard.make_stats () }

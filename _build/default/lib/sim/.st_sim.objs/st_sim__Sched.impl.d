@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Array Costs Effect List Queue Rng Topology

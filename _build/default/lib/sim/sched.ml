@@ -1,0 +1,233 @@
+open Effect
+open Effect.Deep
+
+exception Thread_crashed
+
+type _ Effect.t += Consume : int -> unit Effect.t
+
+type state =
+  | Not_started of (int -> unit)
+  | Suspended of (unit, unit) continuation
+  | Running
+  | Finished
+  | Crashed
+  | Doomed of (unit, unit) continuation
+      (* crash requested while suspended; discontinued when next picked *)
+
+type thread = {
+  tid : int;
+  lcore : int;
+  mutable state : state;
+  mutable slice_used : int;
+  rng : Rng.t;
+}
+
+type t = {
+  topo : Topology.t;
+  costs : Costs.t;
+  quantum : int;
+  ht_penalty_pct : int;
+  rng : Rng.t;
+  mutable clocks : int array; (* per lcore *)
+  mutable threads : thread list; (* reversed during registration *)
+  mutable arr : thread array;
+  mutable queues : thread Queue.t array; (* per lcore, runnable order *)
+  mutable preempt_hooks : (int -> unit) list;
+  mutable context_switches : int;
+  mutable cur : thread option;
+  mutable started : bool;
+}
+
+let create ?(topology = Topology.create ()) ?(costs = Costs.default)
+    ?(quantum = 50_000) ?(ht_penalty_pct = 140) ~seed () =
+  let n = Topology.lcores topology in
+  {
+    topo = topology;
+    costs;
+    quantum;
+    ht_penalty_pct;
+    rng = Rng.create ~seed;
+    clocks = Array.make n 0;
+    threads = [];
+    arr = [||];
+    queues = Array.init n (fun _ -> Queue.create ());
+    preempt_hooks = [];
+    context_switches = 0;
+    cur = None;
+    started = false;
+  }
+
+let costs t = t.costs
+let topology t = t.topo
+let rng t = t.rng
+
+let add_thread t body =
+  assert (not t.started);
+  let tid = List.length t.threads in
+  let lcore = Topology.placement t.topo tid in
+  let th =
+    { tid; lcore; state = Not_started body; slice_used = 0; rng = Rng.split t.rng }
+  in
+  t.threads <- th :: t.threads;
+  tid
+
+let thread_rng t tid = t.arr.(tid).rng
+
+let on_preempt t f = t.preempt_hooks <- f :: t.preempt_hooks
+
+let fire_preempt t tid = List.iter (fun f -> f tid) t.preempt_hooks
+
+let current t =
+  match t.cur with
+  | Some th -> th.tid
+  | None -> invalid_arg "Sched.current: no thread running"
+
+let cur_thread t =
+  match t.cur with
+  | Some th -> th
+  | None -> invalid_arg "Sched.consume: no thread running"
+
+let lcore_of t tid = t.arr.(tid).lcore
+
+let now t =
+  match t.cur with
+  | Some th -> t.clocks.(th.lcore)
+  | None -> invalid_arg "Sched.now: no thread running"
+
+let global_time t = Array.fold_left max 0 t.clocks
+
+let live th = match th.state with Finished | Crashed -> false | _ -> true
+
+let sibling_active t tid =
+  let lc = t.arr.(tid).lcore in
+  match Topology.sibling t.topo lc with
+  | None -> false
+  | Some sib ->
+      Queue.fold (fun acc th -> acc || live th) false t.queues.(sib)
+      ||
+      (* The sibling's thread may currently be the running one. *)
+      (match t.cur with Some th when th.lcore = sib -> live th | _ -> false)
+
+let crashed t tid = t.arr.(tid).state = Crashed
+let finished t tid = t.arr.(tid).state = Finished
+let context_switches t = t.context_switches
+let n_threads t = Array.length t.arr
+
+let crash t tid =
+  let th = t.arr.(tid) in
+  (match th.state with
+  | Finished | Crashed -> ()
+  | Not_started _ ->
+      fire_preempt t tid;
+      th.state <- Crashed
+  | Suspended k ->
+      fire_preempt t tid;
+      th.state <- Doomed k
+  | Doomed _ -> ()
+  | Running ->
+      (* Self-crash: unwind immediately. *)
+      fire_preempt t tid;
+      th.state <- Crashed;
+      raise Thread_crashed)
+
+let consume t cost =
+  let th = cur_thread t in
+  let cost =
+    if sibling_active t th.tid then cost * t.ht_penalty_pct / 100 else cost
+  in
+  t.clocks.(th.lcore) <- t.clocks.(th.lcore) + cost;
+  th.slice_used <- th.slice_used + cost;
+  perform (Consume cost)
+
+(* Pick the runnable thread whose lcore clock is minimal.  Queue heads are
+   the scheduled thread of each lcore; others on the same lcore wait for a
+   quantum expiry. *)
+let pick t =
+  let best = ref None in
+  Array.iteri
+    (fun lc q ->
+      if not (Queue.is_empty q) then
+        let c = t.clocks.(lc) in
+        match !best with
+        | Some (c', _) when c' <= c -> ()
+        | _ -> best := Some (c, lc))
+    t.queues;
+  match !best with
+  | None -> None
+  | Some (_, lc) -> Some (Queue.peek t.queues.(lc))
+
+let maybe_preempt t th =
+  if th.slice_used >= t.quantum && Queue.length t.queues.(th.lcore) > 1 then begin
+    fire_preempt t th.tid;
+    t.context_switches <- t.context_switches + 1;
+    t.clocks.(th.lcore) <- t.clocks.(th.lcore) + t.costs.context_switch;
+    th.slice_used <- 0;
+    let q = t.queues.(th.lcore) in
+    let head = Queue.pop q in
+    assert (head == th);
+    Queue.push th q
+  end
+
+let remove_from_queue t th =
+  let q = t.queues.(th.lcore) in
+  let head = Queue.pop q in
+  assert (head == th)
+
+let handler t th =
+  {
+    retc = (fun () -> th.state <- Finished; remove_from_queue t th);
+    exnc =
+      (fun e ->
+        match e with
+        | Thread_crashed ->
+            th.state <- Crashed;
+            remove_from_queue t th
+        | e ->
+            th.state <- Crashed;
+            remove_from_queue t th;
+            raise e);
+    effc =
+      (fun (type a) (e : a Effect.t) ->
+        match e with
+        | Consume _ ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                th.state <- Suspended k;
+                maybe_preempt t th)
+        | _ -> None);
+  }
+
+let dispatch t th =
+  t.cur <- Some th;
+  (match th.state with
+  | Not_started body ->
+      th.state <- Running;
+      match_with (fun () -> body th.tid) () (handler t th)
+  | Suspended k ->
+      th.state <- Running;
+      continue k ()
+  | Doomed k ->
+      th.state <- Running;
+      (* Unwind with Thread_crashed; the handler marks it Crashed. *)
+      discontinue k Thread_crashed
+  | Running | Finished | Crashed -> assert false);
+  t.cur <- None
+
+let run t =
+  assert (not t.started);
+  t.started <- true;
+  t.arr <- Array.of_list (List.rev t.threads);
+  Array.iter (fun th -> Queue.push th t.queues.(th.lcore)) t.arr;
+  let rec loop () =
+    match pick t with
+    | None -> ()
+    | Some th -> (
+        match th.state with
+        | Crashed | Finished ->
+            remove_from_queue t th;
+            loop ()
+        | _ ->
+            dispatch t th;
+            loop ())
+  in
+  loop ()

@@ -1,0 +1,92 @@
+(** Deterministic cooperative scheduler for simulated threads.
+
+    The scheduler is a discrete-event loop: every simulated thread runs inside
+    an effect handler and surrenders control each time it consumes virtual
+    cycles (every simulated memory access does).  The loop always resumes the
+    runnable thread whose logical core has the smallest virtual clock, so a
+    run is a deterministic function of the seed and the thread bodies.
+
+    Modelled behaviours needed by the paper's evaluation:
+    - per-logical-core virtual clocks (throughput = ops / max clock);
+    - SMT siblings sharing a physical core get a cycle penalty when both are
+      active (HyperThreading slowdown);
+    - when more threads than logical cores exist, threads on the same logical
+      core are time-multiplexed with a quantum; expiry costs a context switch
+      and fires preemption hooks (the HTM layer uses these to abort in-flight
+      transactions, modelling the timer interrupt clearing the cache);
+    - threads can be crashed (never scheduled again) for failure injection. *)
+
+type t
+
+exception Thread_crashed
+(** Raised inside a fiber that is being destroyed by {!crash}. *)
+
+val create :
+  ?topology:Topology.t ->
+  ?costs:Costs.t ->
+  ?quantum:int ->
+  ?ht_penalty_pct:int ->
+  seed:int ->
+  unit ->
+  t
+(** [quantum] is the multiplexing time slice in cycles (default 50_000).
+    [ht_penalty_pct] is the percentage cost multiplier applied when both SMT
+    siblings are active (default 140, i.e. 1.4x). *)
+
+val costs : t -> Costs.t
+val topology : t -> Topology.t
+val rng : t -> Rng.t
+(** Scheduler-level generator; threads should use {!thread_rng}. *)
+
+val add_thread : t -> (int -> unit) -> int
+(** [add_thread t body] registers a thread; [body] receives the thread id.
+    Must be called before {!run}.  Returns the thread id. *)
+
+val thread_rng : t -> int -> Rng.t
+(** Independent per-thread stream, split deterministically from the seed. *)
+
+val on_preempt : t -> (int -> unit) -> unit
+(** Register a hook fired with the thread id whenever that thread is
+    preempted at quantum expiry (before the context-switch cost is charged).
+    Also fired when a thread is crashed. *)
+
+val run : t -> unit
+(** Run every registered thread to completion (or crash).  Exceptions other
+    than {!Thread_crashed} escaping a thread body abort the run and are
+    re-raised. *)
+
+(** {2 Called from inside thread bodies} *)
+
+val consume : t -> int -> unit
+(** [consume t c] charges [c] cycles to the calling thread's core and yields
+    to the scheduler.  This is the only interleaving point. *)
+
+val current : t -> int
+(** Id of the running thread.  Only valid inside a thread body. *)
+
+val now : t -> int
+(** Virtual clock of the calling thread's logical core. *)
+
+val global_time : t -> int
+(** Max over all logical-core clocks; total makespan after {!run}. *)
+
+val crash : t -> int -> unit
+(** [crash t tid] destroys thread [tid]: it is unwound with
+    {!Thread_crashed} the next time it would run, and never completes.
+    Fires preemption hooks for [tid]. *)
+
+val crashed : t -> int -> bool
+val finished : t -> int -> bool
+
+val lcore_of : t -> int -> int
+(** Logical core a thread is pinned to. *)
+
+val sibling_active : t -> int -> bool
+(** [sibling_active t tid] is true when the SMT sibling core of [tid]'s
+    logical core currently hosts live (unfinished, uncrashed) threads.  The
+    HTM layer uses this to halve effective L1 associativity. *)
+
+val context_switches : t -> int
+(** Total preemptions performed so far. *)
+
+val n_threads : t -> int

@@ -1,0 +1,23 @@
+type t = { cores : int; smt : int }
+
+let create ?(cores = 4) ?(smt = 2) () =
+  assert (cores > 0 && smt > 0 && smt <= 2);
+  { cores; smt }
+
+let lcores t = t.cores * t.smt
+
+let sibling t lc =
+  if t.smt = 1 then None
+  else if lc land 1 = 0 then Some (lc + 1)
+  else Some (lc - 1)
+
+let core_of t lc = lc / t.smt
+
+(* Spread order: physical cores first (even lcores), then hyperthread
+   siblings (odd lcores), then wrap. *)
+let placement t i =
+  let n = lcores t in
+  let slot = i mod n in
+  if t.smt = 1 then slot
+  else if slot < t.cores then 2 * slot
+  else (2 * (slot - t.cores)) + 1

@@ -1,0 +1,26 @@
+(** Core topology of the simulated machine.
+
+    The paper's testbed is a 4-core Intel Haswell with 2-way HyperThreading
+    (8 logical cores).  Logical cores [2k] and [2k+1] are SMT siblings and
+    share one L1 cache.  Threads are placed on logical cores the way Linux
+    spreads CPU-bound threads: one per physical core first, then the second
+    hyperthread of each core, then time-multiplexed. *)
+
+type t = private { cores : int; smt : int }
+
+val create : ?cores:int -> ?smt:int -> unit -> t
+(** Defaults: [cores = 4], [smt = 2], matching the paper's machine. *)
+
+val lcores : t -> int
+(** Number of logical cores ([cores * smt]). *)
+
+val sibling : t -> int -> int option
+(** [sibling t lc] is the SMT sibling of logical core [lc], if any. *)
+
+val core_of : t -> int -> int
+(** Physical core of a logical core. *)
+
+val placement : t -> int -> int
+(** [placement t i] is the logical core that the [i]-th thread is pinned to.
+    Threads 0..cores-1 land on distinct physical cores, the next batch on the
+    sibling hyperthreads, and further threads wrap around (multiplexing). *)

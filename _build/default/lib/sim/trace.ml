@@ -1,0 +1,40 @@
+type event = { time : int; tid : int; category : string; message : string }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  ring : event option array;
+  mutable next : int; (* total events ever recorded *)
+}
+
+let create ?(capacity = 4096) ~enabled () =
+  assert (capacity > 0);
+  { enabled; capacity; ring = Array.make capacity None; next = 0 }
+
+let enabled t = t.enabled
+let enable t b = t.enabled <- b
+
+let record t ~time ~tid category msg =
+  if t.enabled then begin
+    t.ring.(t.next mod t.capacity) <-
+      Some { time; tid; category; message = msg () };
+    t.next <- t.next + 1
+  end
+
+let size t = min t.next t.capacity
+
+let dump ?last t ppf =
+  let n = size t in
+  let n = match last with Some k -> min k n | None -> n in
+  let first = t.next - n in
+  for i = first to t.next - 1 do
+    match t.ring.(i mod t.capacity) with
+    | Some e ->
+        Format.fprintf ppf "[%10d] t%-3d %-12s %s@." e.time e.tid e.category
+          e.message
+    | None -> ()
+  done
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0

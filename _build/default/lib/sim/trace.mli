@@ -1,0 +1,27 @@
+(** Lightweight event tracing for debugging simulated schedules.
+
+    A bounded ring buffer of timestamped events; recording is free-form
+    (category + message thunk) and costs nothing when the trace is
+    disabled, so instrumentation can stay in the code.  On a surprising
+    failure, [dump] prints the last events leading up to it. *)
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [capacity] is the ring size (default 4096 events). *)
+
+val enabled : t -> bool
+val enable : t -> bool -> unit
+
+val record : t -> time:int -> tid:int -> string -> (unit -> string) -> unit
+(** [record t ~time ~tid category msg] appends an event; [msg] is only
+    forced when the trace is enabled. *)
+
+val size : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val dump : ?last:int -> t -> Format.formatter -> unit
+(** Print up to [last] most recent events (default: all retained), oldest
+    first. *)
+
+val clear : t -> unit

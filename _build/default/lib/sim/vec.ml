@@ -1,0 +1,52 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let grow t x =
+  let cap = Array.length t.data in
+  let cap' = max 8 (cap * 2) in
+  let data = Array.make cap' x in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+let clear t = t.len <- 0
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate";
+  t.len <- n
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let filter_in_place p t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    if p t.data.(i) then begin
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  t.len <- !j

@@ -1,0 +1,19 @@
+(** Minimal growable vector (OCaml 5.1 has no [Dynarray] yet).
+
+    Used for reclamation buffers and the StackTrack replay log. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val clear : 'a t -> unit
+val truncate : 'a t -> int -> unit
+(** Keep only the first [n] elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+val exists : ('a -> bool) -> 'a t -> bool
+val filter_in_place : ('a -> bool) -> 'a t -> unit

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Cache Engine Guard Heap Predictor Sched Scheme_stats Shadow St_config St_htm St_machine St_mem St_reclaim St_sim Stacktrack Topology Tsx Word

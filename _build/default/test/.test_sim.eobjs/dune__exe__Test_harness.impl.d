@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Experiment Figures Latency List Printf QCheck QCheck_alcotest St_harness St_sim St_workload

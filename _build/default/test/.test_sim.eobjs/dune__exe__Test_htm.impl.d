@@ -1,0 +1,1 @@
+test/test_htm.ml: Alcotest Array Cache Heap Htm_stats Sched Shadow St_htm St_mem St_sim Topology Tsx Word

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Experiment Format List Printf St_harness St_htm St_mem St_reclaim Stacktrack

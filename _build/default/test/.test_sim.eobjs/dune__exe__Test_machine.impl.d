@@ -1,0 +1,1 @@
+test/test_machine.ml: Activity Alcotest Ctx List QCheck QCheck_alcotest St_machine

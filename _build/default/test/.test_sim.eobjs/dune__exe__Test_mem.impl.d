@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Hashtbl Heap List QCheck QCheck_alcotest Shadow St_mem Word

@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Dta Epoch Guard Hazard Heap Immediate Refcount Sched Shadow St_htm St_mem St_reclaim St_sim Topology Tsx Word

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Rng Sched St_sim String Topology Trace

@@ -1,0 +1,1 @@
+test/test_slowpath.ml: Alcotest Array Cache Engine Guard Heap List Sched Scheme_stats Shadow St_config St_htm St_mem St_reclaim St_sim Stacktrack Topology Tsx Word

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Experiment Format List Printf St_harness St_htm St_mem St_reclaim St_workload Stacktrack String

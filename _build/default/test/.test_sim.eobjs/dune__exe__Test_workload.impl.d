@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List QCheck QCheck_alcotest Rng St_sim St_workload Vec Workload

@@ -1,0 +1,198 @@
+(* Tests for the harness layer: the latency histogram math, experiment
+   configuration knobs (topology, distribution, crash injection), result
+   bookkeeping consistency, and a smoke pass over a figure preset. *)
+
+open St_harness
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Latency histogram                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_basics () =
+  let l = Latency.create () in
+  List.iter (Latency.record l) [ 10; 20; 30; 40; 1000 ];
+  checki "count" 5 (Latency.count l);
+  checki "max" 1000 (Latency.max_value l);
+  checkb "mean" true (abs_float (Latency.mean l -. 220.) < 1.);
+  checkb "p50 in bucket of 20-30" true
+    (Latency.percentile l 50. >= 16 && Latency.percentile l 50. <= 32);
+  checkb "p99 reaches the tail" true (Latency.percentile l 99. >= 512)
+
+let test_latency_percentile_monotone () =
+  let l = Latency.create () in
+  let rng = St_sim.Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    Latency.record l (St_sim.Rng.int rng 100_000)
+  done;
+  let prev = ref 0 in
+  List.iter
+    (fun p ->
+      let v = Latency.percentile l p in
+      checkb (Printf.sprintf "p%.0f >= previous" p) true (v >= !prev);
+      prev := v)
+    [ 1.; 25.; 50.; 75.; 90.; 99.; 100. ]
+
+let test_latency_merge () =
+  let a = Latency.create () and b = Latency.create () in
+  Latency.record a 10;
+  Latency.record b 1000;
+  let m = Latency.merge [ a; b ] in
+  checki "merged count" 2 (Latency.count m);
+  checki "merged max" 1000 (Latency.max_value m)
+
+let prop_latency_percentile_bounds =
+  QCheck.Test.make ~name:"percentile bounded by max, count preserved" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_bound 1_000_000))
+    (fun vs ->
+      let l = Latency.create () in
+      List.iter (Latency.record l) vs;
+      Latency.count l = List.length vs
+      && Latency.percentile l 100. <= Latency.max_value l + 1
+      && Latency.percentile l 0. >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment knobs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let base =
+  {
+    Experiment.default_config with
+    threads = 4;
+    duration = 150_000;
+    key_range = 64;
+    init_size = 32;
+    mutation_pct = 40;
+  }
+
+let test_result_consistency () =
+  let r = Experiment.run { base with scheme = Experiment.stacktrack_default } in
+  checki "ops sum" r.Experiment.total_ops
+    (Array.fold_left ( + ) 0 r.Experiment.ops_per_thread);
+  checki "latency count = ops" r.Experiment.total_ops
+    (Latency.count r.Experiment.latency);
+  checkb "throughput consistent" true
+    (abs_float
+       (r.Experiment.throughput
+       -. (float_of_int r.Experiment.total_ops
+          *. 1e6
+          /. float_of_int r.Experiment.makespan))
+    < 0.01);
+  checkb "allocs >= frees" true (r.Experiment.allocs + 1000 >= r.Experiment.frees);
+  checki "live = allocs - frees"
+    (r.Experiment.allocs - r.Experiment.frees)
+    r.Experiment.live_at_end
+
+let test_single_core_topology () =
+  (* 1 core, no SMT: everything serializes; still correct. *)
+  let r =
+    Experiment.run
+      { base with cores = 1; smt = 1; threads = 3; scheme = Experiment.Epoch }
+  in
+  checki "no violations" 0 r.Experiment.violations;
+  checkb "context switches on one core" true (r.Experiment.context_switches > 0)
+
+let test_zipf_dist () =
+  let r =
+    Experiment.run
+      {
+        base with
+        dist = St_workload.Workload.Zipf 0.9;
+        scheme = Experiment.stacktrack_default;
+      }
+  in
+  checki "no violations" 0 r.Experiment.violations;
+  checkb "progress" true (r.Experiment.total_ops > 100)
+
+let test_crash_injection_runs () =
+  let r =
+    Experiment.run
+      { base with crash_tids = [ 1 ]; scheme = Experiment.stacktrack_default }
+  in
+  checki "no violations" 0 r.Experiment.violations;
+  (* The crashed thread completed fewer ops than survivors on average. *)
+  let dead = r.Experiment.ops_per_thread.(1) in
+  let live = r.Experiment.ops_per_thread.(0) in
+  checkb "victim stopped early" true (dead <= live)
+
+let test_structures_all_run () =
+  List.iter
+    (fun structure ->
+      let r =
+        Experiment.run { base with structure; scheme = Experiment.Epoch }
+      in
+      checkb
+        (Experiment.structure_name structure ^ " progresses")
+        true
+        (r.Experiment.total_ops > 50);
+      checki "no violations" 0 r.Experiment.violations)
+    [ Experiment.List_s; Experiment.Skiplist_s; Experiment.Queue_s; Experiment.Hash_s ]
+
+let test_memory_profile_smoke () =
+  (* The epoch curve must end higher than it starts (leak after crash);
+     the non-blocking schemes must not. *)
+  let rows = Figures.memory_profile ~speed:Figures.Quick () in
+  List.iter
+    (fun (scheme, (r : Experiment.result)) ->
+      match (r.Experiment.live_samples, List.rev r.Experiment.live_samples) with
+      | (_, first) :: _, (_, last) :: _ -> (
+          match scheme with
+          | Experiment.Epoch ->
+              checkb "epoch leaks after crash" true (last > first + 20)
+          | _ -> checkb "non-blocking stays bounded" true (last < first + 60))
+      | _ -> Alcotest.fail "no samples")
+    rows
+
+let test_stm_figure_smoke () =
+  let rows = Figures.stm_vs_htm ~speed:Figures.Quick () in
+  List.iter
+    (fun (_, values) ->
+      match values with
+      | [ htm; stm; pct ] ->
+          checkb "htm faster than stm" true (htm > stm);
+          checkb "ratio sane" true (pct > 5. && pct < 95.)
+      | _ -> Alcotest.fail "row shape")
+    rows
+
+(* One figure preset end-to-end (tiny thread set via Quick). *)
+let test_figure_smoke () =
+  let rows = Figures.fig4_splits ~speed:Figures.Quick () in
+  checkb "rows produced" true (List.length rows >= 5);
+  List.iter
+    (fun (_, values) ->
+      match values with
+      | [ splits; len ] ->
+          checkb "splits positive" true (splits > 0.);
+          checkb "length in range" true (len > 0. && len <= 400.)
+      | _ -> Alcotest.fail "unexpected row shape")
+    rows
+
+let () =
+  Alcotest.run "st_harness"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "basics" `Quick test_latency_basics;
+          Alcotest.test_case "monotone percentiles" `Quick
+            test_latency_percentile_monotone;
+          Alcotest.test_case "merge" `Quick test_latency_merge;
+          QCheck_alcotest.to_alcotest prop_latency_percentile_bounds;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "result consistency" `Quick test_result_consistency;
+          Alcotest.test_case "single core" `Quick test_single_core_topology;
+          Alcotest.test_case "zipf" `Quick test_zipf_dist;
+          Alcotest.test_case "crash injection" `Quick test_crash_injection_runs;
+          Alcotest.test_case "all structures" `Quick test_structures_all_run;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig4 smoke" `Slow test_figure_smoke;
+          Alcotest.test_case "memory profile smoke" `Slow
+            test_memory_profile_smoke;
+          Alcotest.test_case "stm figure smoke" `Slow test_stm_figure_smoke;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* End-to-end integration tests: every (structure x scheme) combination runs
+   a concurrent workload on the simulated machine and must finish with zero
+   memory-safety violations (except the deliberately unsafe scheme, which
+   must be caught), sane statistics, and deterministic results. *)
+
+open St_harness
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let base =
+  {
+    Experiment.default_config with
+    threads = 4;
+    duration = 300_000;
+    key_range = 64;
+    init_size = 32;
+    mutation_pct = 40;
+  }
+
+let schemes =
+  [
+    Experiment.Original;
+    Experiment.Hazards;
+    Experiment.Epoch;
+    Experiment.stacktrack_default;
+    Experiment.Refcount_s;
+  ]
+
+let structures =
+  [
+    (Experiment.List_s, "list");
+    (Experiment.Hash_s, "hash");
+    (Experiment.Skiplist_s, "skiplist");
+    (Experiment.Queue_s, "queue");
+  ]
+
+let run_one structure scheme =
+  Experiment.run { base with structure; scheme }
+
+let test_safe structure sname scheme () =
+  let r = run_one structure scheme in
+  checkb
+    (Printf.sprintf "%s/%s ops done" sname (Experiment.scheme_name scheme))
+    true (r.Experiment.total_ops > 100);
+  (match r.Experiment.violation_samples with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s/%s violation: %s" sname
+        (Experiment.scheme_name scheme)
+        (Format.asprintf "%a" St_mem.Shadow.pp_violation v));
+  checki
+    (Printf.sprintf "%s/%s no violations" sname (Experiment.scheme_name scheme))
+    0 r.Experiment.violations
+
+let test_reclaims structure sname scheme () =
+  (* Reclaiming schemes must actually free memory under a mutation-heavy
+     workload. *)
+  let r =
+    Experiment.run
+      { base with structure; scheme; duration = 600_000; mutation_pct = 60 }
+  in
+  checkb
+    (Printf.sprintf "%s frees something" sname)
+    true
+    (r.Experiment.frees > 0);
+  checkb "retired counted" true (r.Experiment.reclaim.St_reclaim.Guard.retired > 0)
+
+let test_unsafe_detected () =
+  (* The immediate scheme must trip the shadow checker under contention. *)
+  let tripped = ref false in
+  List.iter
+    (fun seed ->
+      let r =
+        Experiment.run
+          {
+            base with
+            structure = Experiment.List_s;
+            scheme = Experiment.Immediate_unsafe;
+            threads = 8;
+            duration = 600_000;
+            mutation_pct = 80;
+            key_range = 16;
+            init_size = 8;
+            seed;
+          }
+      in
+      if r.Experiment.violations > 0 then tripped := true)
+    [ 1; 2; 3 ];
+  checkb "unsafe scheme caught by shadow checker" true !tripped
+
+let test_deterministic () =
+  let r1 = run_one Experiment.List_s Experiment.stacktrack_default in
+  let r2 = run_one Experiment.List_s Experiment.stacktrack_default in
+  checki "same ops" r1.Experiment.total_ops r2.Experiment.total_ops;
+  checki "same makespan" r1.Experiment.makespan r2.Experiment.makespan;
+  checki "same frees" r1.Experiment.frees r2.Experiment.frees
+
+let test_original_leaks () =
+  let r =
+    Experiment.run
+      {
+        base with
+        structure = Experiment.List_s;
+        scheme = Experiment.Original;
+        duration = 600_000;
+        mutation_pct = 60;
+      }
+  in
+  checki "original never frees" 0 r.Experiment.frees;
+  checkb "original leaks" true (r.Experiment.leaked > 0)
+
+let test_stacktrack_stats () =
+  let r = run_one Experiment.List_s Experiment.stacktrack_default in
+  match r.Experiment.st with
+  | None -> Alcotest.fail "missing stacktrack stats"
+  | Some st ->
+      checkb "ops counted" true (st.Stacktrack.Scheme_stats.ops > 100);
+      checkb "segments committed" true (st.Stacktrack.Scheme_stats.segments > 0);
+      checkb "htm commits happened" true (r.Experiment.htm.St_htm.Htm_stats.commits > 0)
+
+let safe_cases =
+  List.concat_map
+    (fun (structure, sname) ->
+      List.filter_map
+        (fun scheme ->
+          (* DTA is list-only. *)
+          Some
+            (Alcotest.test_case
+               (Printf.sprintf "%s/%s" sname (Experiment.scheme_name scheme))
+               `Quick
+               (test_safe structure sname scheme)))
+        (schemes @ if structure = Experiment.List_s then [ Experiment.Dta ] else []))
+    structures
+
+let reclaim_cases =
+  List.map
+    (fun (structure, sname) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s reclaims" sname)
+        `Quick
+        (test_reclaims structure sname Experiment.stacktrack_default))
+    structures
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("safety", safe_cases);
+      ("reclamation", reclaim_cases);
+      ( "meta",
+        [
+          Alcotest.test_case "unsafe detected" `Quick test_unsafe_detected;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "original leaks" `Quick test_original_leaks;
+          Alcotest.test_case "stacktrack stats" `Quick test_stacktrack_stats;
+        ] );
+    ]

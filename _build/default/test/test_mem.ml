@@ -1,0 +1,246 @@
+(* Tests for the simulated heap: allocator behaviour (reuse, alignment,
+   growth), shadow-state violation detection, and range queries, plus
+   qcheck properties over random alloc/free traces. *)
+
+open St_mem
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let mk ?strict ?(quarantine = 0) ?(align = 1) () =
+  let shadow = Shadow.create ?strict () in
+  Heap.create ~quarantine ~align ~shadow ()
+
+let test_alloc_basics () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:4 in
+  checkb "in heap range" true (a >= Word.heap_base);
+  checkb "allocated" true (Heap.is_allocated h a);
+  Alcotest.check Alcotest.(option int) "size" (Some 4) (Heap.size_of h a);
+  checki "zeroed" 0 (Heap.read h ~tid:0 a)
+
+let test_alloc_even () =
+  let h = mk () in
+  for _ = 1 to 50 do
+    let a = Heap.alloc h ~tid:0 ~size:3 in
+    checkb "even base" true (a land 1 = 0)
+  done
+
+let test_read_write () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:2 in
+  Heap.write h ~tid:0 a 123;
+  Heap.write h ~tid:0 (a + 1) 456;
+  checki "word 0" 123 (Heap.read h ~tid:0 a);
+  checki "word 1" 456 (Heap.read h ~tid:0 (a + 1));
+  checki "no violations" 0 (Shadow.count (Heap.shadow h))
+
+let test_free_and_reuse () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:4 in
+  Heap.free h ~tid:0 a;
+  checkb "not allocated after free" false (Heap.is_allocated h a);
+  let b = Heap.alloc h ~tid:0 ~size:4 in
+  checki "LIFO reuse of same-size block" a b
+
+let test_no_reuse_across_sizes () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:4 in
+  Heap.free h ~tid:0 a;
+  let b = Heap.alloc h ~tid:0 ~size:5 in
+  checkb "different size not reused" true (a <> b)
+
+let test_use_after_free_read () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:2 in
+  Heap.write h ~tid:0 a 77;
+  Heap.free h ~tid:3 a;
+  let v = Heap.read h ~tid:3 a in
+  checki "poisoned" Heap.poison v;
+  checki "one violation" 1 (Shadow.count (Heap.shadow h));
+  checki "uaf read recorded" 1
+    (Shadow.count_kind (Heap.shadow h) Shadow.Read_after_free);
+  match Shadow.first (Heap.shadow h) with
+  | [ v ] ->
+      checki "tid recorded" 3 v.Shadow.tid;
+      checki "addr recorded" a v.Shadow.addr
+  | _ -> Alcotest.fail "expected exactly one kept violation"
+
+let test_use_after_free_write () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:2 in
+  Heap.free h ~tid:0 a;
+  Heap.write h ~tid:1 a 5;
+  checki "uaf write recorded" 1
+    (Shadow.count_kind (Heap.shadow h) Shadow.Write_after_free)
+
+let test_double_free () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:2 in
+  Heap.free h ~tid:0 a;
+  Heap.free h ~tid:0 a;
+  checki "double free recorded" 1
+    (Shadow.count_kind (Heap.shadow h) Shadow.Double_free)
+
+let test_bad_free () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:4 in
+  Heap.free h ~tid:0 (a + 1);
+  checki "interior free rejected" 1
+    (Shadow.count_kind (Heap.shadow h) Shadow.Bad_free);
+  checkb "object still live" true (Heap.is_allocated h a)
+
+let test_strict_raises () =
+  let h = mk ~strict:true () in
+  let a = Heap.alloc h ~tid:0 ~size:1 in
+  Heap.free h ~tid:0 a;
+  checkb "raises in strict mode" true
+    (try
+       ignore (Heap.read h ~tid:0 a);
+       false
+     with Shadow.Violation _ -> true)
+
+let test_base_of () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:8 in
+  Alcotest.check Alcotest.(option int) "base" (Some a) (Heap.base_of h a);
+  Alcotest.check Alcotest.(option int) "interior" (Some a) (Heap.base_of h (a + 5));
+  Alcotest.check Alcotest.(option int) "null" None (Heap.base_of h Word.null);
+  Alcotest.check Alcotest.(option int) "small int" None (Heap.base_of h 42);
+  Heap.free h ~tid:0 a;
+  Alcotest.check Alcotest.(option int) "dead object" None (Heap.base_of h (a + 5))
+
+let test_growth () =
+  let h = Heap.create ~initial_words:(1 lsl 13) ~shadow:(Shadow.create ()) () in
+  (* Allocate far past the initial capacity. *)
+  let last = ref 0 in
+  for _ = 1 to 10_000 do
+    last := Heap.alloc h ~tid:0 ~size:8
+  done;
+  Heap.write h ~tid:0 !last 9;
+  checki "write after growth" 9 (Heap.read h ~tid:0 !last);
+  checki "no violations" 0 (Shadow.count (Heap.shadow h))
+
+let test_stats () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:2 in
+  let _b = Heap.alloc h ~tid:0 ~size:2 in
+  Heap.free h ~tid:0 a;
+  checki "allocs" 2 (Heap.allocs h);
+  checki "frees" 1 (Heap.frees h);
+  checki "live" 1 (Heap.live_objects h);
+  checki "peak" 2 (Heap.peak_live h);
+  checki "words in use" 2 (Heap.words_in_use h)
+
+let test_alignment_rounds_sizes () =
+  (* With line-sized chunks, two consecutive small objects never share a
+     line (false-sharing avoidance). *)
+  let h = mk ~align:4 () in
+  let a = Heap.alloc h ~tid:0 ~size:2 in
+  let b = Heap.alloc h ~tid:0 ~size:2 in
+  checki "aligned base a" 0 (a mod 4);
+  checki "aligned base b" 0 (b mod 4);
+  checkb "no shared line" true (b - a >= 4);
+  Alcotest.check Alcotest.(option int) "extent covers padding" (Some a)
+    (Heap.base_of h (a + 3))
+
+let test_quarantine_delays_reuse () =
+  let h = mk ~quarantine:2 () in
+  let a = Heap.alloc h ~tid:0 ~size:4 in
+  Heap.free h ~tid:0 a;
+  (* One block in quarantine: the next alloc must NOT reuse it. *)
+  let b = Heap.alloc h ~tid:0 ~size:4 in
+  checkb "quarantined block not reused" true (b <> a);
+  Heap.free h ~tid:0 b;
+  let c = Heap.alloc h ~tid:0 ~size:4 in
+  checkb "still quarantined" true (c <> a && c <> b);
+  (* Push the quarantine over capacity: a leaves quarantine and is reusable. *)
+  Heap.free h ~tid:0 c;
+  let d = Heap.alloc h ~tid:0 ~size:4 in
+  checki "oldest quarantined block finally reused" a d
+
+let test_marked_pointers_distinct () =
+  let h = mk () in
+  let a = Heap.alloc h ~tid:0 ~size:2 in
+  checkb "not marked" false (Word.is_marked a);
+  checkb "marked" true (Word.is_marked (Word.mark a));
+  checki "unmark round-trip" a (Word.unmark (Word.mark a))
+
+(* Property: after any trace of allocs and frees, live objects never overlap
+   and base_of agrees with ownership. *)
+let prop_no_overlap =
+  QCheck.Test.make ~name:"alloc/free trace keeps objects disjoint" ~count:60
+    QCheck.(list (pair (int_bound 1) (int_range 1 9)))
+    (fun ops ->
+      let h = mk () in
+      let live = Hashtbl.create 16 in
+      List.iter
+        (fun (op, size) ->
+          if op = 0 || Hashtbl.length live = 0 then
+            let a = Heap.alloc h ~tid:0 ~size in
+            Hashtbl.replace live a size
+          else begin
+            (* Free the smallest live base. *)
+            let a =
+              Hashtbl.fold (fun k _ acc -> min k acc) live max_int
+            in
+            Heap.free h ~tid:0 a;
+            Hashtbl.remove live a
+          end)
+        ops;
+      (* Every word of every live object maps back to its base, and live
+         ranges are disjoint by construction of owner. *)
+      Hashtbl.fold
+        (fun base size acc ->
+          acc
+          && Heap.is_allocated h base
+          && List.for_all
+               (fun i -> Heap.base_of h (base + i) = Some base)
+               (List.init size (fun i -> i)))
+        live true
+      && Shadow.count (Heap.shadow h) = 0)
+
+let prop_reuse_same_size =
+  QCheck.Test.make ~name:"freed block of size s is reused for next size-s alloc"
+    ~count:100
+    QCheck.(int_range 1 16)
+    (fun size ->
+      let h = mk () in
+      let a = Heap.alloc h ~tid:0 ~size in
+      Heap.free h ~tid:0 a;
+      Heap.alloc h ~tid:0 ~size = a)
+
+let () =
+  Alcotest.run "st_mem"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "alloc basics" `Quick test_alloc_basics;
+          Alcotest.test_case "even bases" `Quick test_alloc_even;
+          Alcotest.test_case "read write" `Quick test_read_write;
+          Alcotest.test_case "free and reuse" `Quick test_free_and_reuse;
+          Alcotest.test_case "no cross-size reuse" `Quick
+            test_no_reuse_across_sizes;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "marked pointers" `Quick
+            test_marked_pointers_distinct;
+          Alcotest.test_case "quarantine delays reuse" `Quick
+            test_quarantine_delays_reuse;
+          Alcotest.test_case "alignment" `Quick test_alignment_rounds_sizes;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "uaf read" `Quick test_use_after_free_read;
+          Alcotest.test_case "uaf write" `Quick test_use_after_free_write;
+          Alcotest.test_case "double free" `Quick test_double_free;
+          Alcotest.test_case "bad free" `Quick test_bad_free;
+          Alcotest.test_case "strict raises" `Quick test_strict_raises;
+          Alcotest.test_case "base_of" `Quick test_base_of;
+        ] );
+      ( "props",
+        [
+          QCheck_alcotest.to_alcotest prop_no_overlap;
+          QCheck_alcotest.to_alcotest prop_reuse_same_size;
+        ] );
+    ]

@@ -1,0 +1,353 @@
+(* Unit tests for the baseline reclamation schemes: hazard-pointer
+   protection and scanning, epoch grace periods (including the crash =
+   unbounded leak failure mode), drop-the-anchor recovery from stalled
+   threads, and reference-counting link/thread counts. *)
+
+open St_sim
+open St_mem
+open St_htm
+open St_reclaim
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let world ?(cores = 4) ?(smt = 1) ?(quantum = 1_000_000) ?(seed = 13) () =
+  let sched =
+    Sched.create ~topology:(Topology.create ~cores ~smt ()) ~quantum ~seed ()
+  in
+  let heap = Heap.create ~shadow:(Shadow.create ()) () in
+  let tsx = Tsx.create ~sched ~heap () in
+  let rt = Guard.make_runtime ~sched ~tsx in
+  (sched, heap, rt)
+
+(* ------------------------------------------------------------------ *)
+(* Hazard pointers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_hazard_blocks_free () =
+  let sched, heap, rt = world () in
+  let s = Hazard.create ~batch:1 rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let node = Heap.alloc heap ~tid:0 ~size:2 in
+  Heap.write heap ~tid:0 cell node;
+  let still_live = ref false and freed_later = ref false in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        Hazard.run_op th ~op_id:1 (fun env ->
+            let v = Hazard.protected_read env ~slot:0 cell in
+            assert (v = node);
+            (* Hold the hazard while the other thread retires and scans. *)
+            Sched.consume sched 10_000;
+            ignore (Hazard.read env (node + 1))))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        Sched.consume sched 1_000;
+        Hazard.run_op th ~op_id:2 (fun env ->
+            (* Unlink, then retire: batch=1 scans immediately. *)
+            Hazard.write env cell Word.null;
+            Hazard.retire env node);
+        still_live := Heap.is_allocated heap node;
+        (* After the holder's op ends (hazards cleared), scan again. *)
+        Sched.consume sched 50_000;
+        Hazard.quiesce th;
+        freed_later := not (Heap.is_allocated heap node))
+  in
+  Sched.run sched;
+  checkb "hazard kept node alive" true !still_live;
+  checkb "freed after release" true !freed_later;
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+let test_hazard_validation_retries_on_change () =
+  (* If the source word changes between hazard publication and validation,
+     protected_read must retry and return the new stable value. *)
+  let sched, heap, rt = world () in
+  let s = Hazard.create rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let a = Heap.alloc heap ~tid:0 ~size:2 in
+  let b = Heap.alloc heap ~tid:0 ~size:2 in
+  Heap.write heap ~tid:0 cell a;
+  let got = ref 0 in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        Hazard.run_op th ~op_id:1 (fun env ->
+            got := Hazard.protected_read env ~slot:0 cell))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        (* Interleave with the protect sequence (store+fence window). *)
+        Sched.consume sched 10;
+        Hazard.run_op th ~op_id:2 (fun env -> Hazard.write env cell b))
+  in
+  Sched.run sched;
+  checkb "stable value returned" true (!got = a || !got = b);
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+let test_hazard_crash_does_not_block_others () =
+  (* Unlike epoch, hazard pointers only block the nodes the crashed thread
+     had published; everything else keeps being reclaimed. *)
+  let sched, _heap, rt = world () in
+  let s = Hazard.create ~batch:1 rt in
+  let victim_ready = ref false in
+  let victim =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        Hazard.run_op th ~op_id:1 (fun _env ->
+            victim_ready := true;
+            Sched.consume sched 1_000_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        Sched.consume sched 2_000;
+        Sched.crash sched victim;
+        (* Retire a private node: no hazard covers it; must be freed even
+           with a crashed thread in the system. *)
+        Hazard.run_op th ~op_id:2 (fun env ->
+            let n = Hazard.alloc env ~size:2 in
+            Hazard.retire env n);
+        checki "frees continue after crash" 1 (Hazard.stats s).Guard.freed)
+  in
+  Sched.run sched;
+  checkb "victim ran" true !victim_ready
+
+(* ------------------------------------------------------------------ *)
+(* Epoch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_epoch_defers_until_grace () =
+  let sched, heap, rt = world () in
+  let s = Epoch.create ~batch:1 rt in
+  let node = Heap.alloc heap ~tid:0 ~size:2 in
+  let mid_op_alive = ref false in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Epoch.create_thread s ~tid in
+        (* A long-running reader operation. *)
+        Epoch.run_op th ~op_id:1 (fun _env -> Sched.consume sched 20_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Epoch.create_thread s ~tid in
+        Sched.consume sched 1_000;
+        Epoch.run_op th ~op_id:2 (fun env -> Epoch.retire env node);
+        (* Reclamation happens at op end, after waiting out the reader. *)
+        mid_op_alive := not (Heap.is_allocated heap node))
+  in
+  Sched.run sched;
+  checkb "freed after grace period" true !mid_op_alive;
+  checkb "reclaimer stalled waiting" true ((Epoch.stats s).Guard.stall_cycles > 5_000);
+  checki "freed count" 1 (Epoch.stats s).Guard.freed
+
+let test_epoch_crash_leaks_forever () =
+  let sched, _heap, rt = world () in
+  let s = Epoch.create ~batch:1 ~patience:30_000 rt in
+  let victim =
+    Sched.add_thread sched (fun tid ->
+        let th = Epoch.create_thread s ~tid in
+        Epoch.run_op th ~op_id:1 (fun _env -> Sched.consume sched 1_000_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Epoch.create_thread s ~tid in
+        Sched.consume sched 500;
+        Sched.crash sched victim;
+        Sched.consume sched 1_000;
+        for _ = 1 to 5 do
+          Epoch.run_op th ~op_id:2 (fun env ->
+              let n = Epoch.alloc env ~size:2 in
+              Epoch.retire env n)
+        done)
+  in
+  Sched.run sched;
+  checki "nothing reclaimed after crash" 0 (Epoch.stats s).Guard.freed;
+  checki "all retirements stuck" 5 (Epoch.stats s).Guard.retired
+
+(* ------------------------------------------------------------------ *)
+(* Drop-the-anchor                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dta_recovers_from_stalled_thread () =
+  (* A stalled (crashed) thread blocks epoch forever; DTA consults its
+     anchor window instead and keeps reclaiming nodes outside it. *)
+  let sched, heap, rt = world () in
+  let s = Dta.create ~batch:1 ~patience:5_000 rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let held = Heap.alloc heap ~tid:0 ~size:2 in
+  Heap.write heap ~tid:0 cell held;
+  let victim =
+    Sched.add_thread sched (fun tid ->
+        let th = Dta.create_thread s ~tid in
+        Dta.run_op th ~op_id:1 (fun env ->
+            (* Visit [held] so it enters the anchor window, then stall. *)
+            ignore (Dta.protected_read env ~slot:0 cell);
+            Sched.consume sched 1_000_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Dta.create_thread s ~tid in
+        Sched.consume sched 2_000;
+        Sched.crash sched victim;
+        Sched.consume sched 1_000;
+        (* Retire a node outside the victim's window: reclaimable.  Retire
+           the held node: protected by the window. *)
+        Dta.run_op th ~op_id:2 (fun env ->
+            let other = Dta.alloc env ~size:2 in
+            Dta.retire env other;
+            Heap.write heap ~tid:1 cell Word.null;
+            Dta.retire env held);
+        checkb "unprotected node freed" true ((Dta.stats s).Guard.freed >= 1);
+        checkb "anchored node survives" true (Heap.is_allocated heap held))
+  in
+  Sched.run sched;
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+(* ------------------------------------------------------------------ *)
+(* Reference counting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_refcount_frees_on_zero () =
+  let sched, heap, rt = world () in
+  ignore (Heap.allocs heap);
+  let s = Refcount.create rt in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Refcount.create_thread s ~tid in
+        Refcount.run_op th ~op_id:1 (fun env ->
+            let n = Refcount.alloc env ~size:2 in
+            (* No links, no holders: retire frees immediately. *)
+            Refcount.retire env n;
+            checkb "freed at once" false (Heap.is_allocated heap n)))
+  in
+  Sched.run sched
+
+let test_refcount_link_blocks_free () =
+  let sched, heap, rt = world () in
+  let s = Refcount.create rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Refcount.create_thread s ~tid in
+        Refcount.run_op th ~op_id:1 (fun env ->
+            let n = Refcount.alloc env ~size:2 in
+            (* Store a link to n: count = 1. *)
+            Refcount.write env cell n;
+            Refcount.retire env n;
+            checkb "linked node survives retire" true (Heap.is_allocated heap n);
+            (* Remove the link: count drops to 0 and the node is freed. *)
+            Refcount.write env cell Word.null;
+            checkb "freed when last link dropped" false (Heap.is_allocated heap n)))
+  in
+  Sched.run sched;
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+let test_refcount_holder_blocks_free () =
+  let sched, heap, rt = world () in
+  let s = Refcount.create rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let node = Heap.alloc heap ~tid:0 ~size:2 in
+  Heap.write heap ~tid:0 cell node;
+  Refcount.note_initial_link s node;
+  let observed = ref false in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Refcount.create_thread s ~tid in
+        Refcount.run_op th ~op_id:1 (fun env ->
+            ignore (Refcount.protected_read env ~slot:0 cell);
+            Sched.consume sched 10_000;
+            observed := Heap.is_allocated heap node)
+        (* op end releases the held reference -> free. *))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Refcount.create_thread s ~tid in
+        Sched.consume sched 1_000;
+        Refcount.run_op th ~op_id:2 (fun env ->
+            Refcount.write env cell Word.null;
+            Refcount.retire env node))
+  in
+  Sched.run sched;
+  checkb "held node alive while referenced" true !observed;
+  checkb "freed when holder finished" false (Heap.is_allocated heap node);
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+(* ------------------------------------------------------------------ *)
+(* Reclamation-lag accounting                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_lag_measured () =
+  (* Epoch frees at the next grace period: the measured retire->free lag
+     must cover the reader operation the reclaimer had to wait out. *)
+  let sched, heap, rt = world () in
+  let s = Epoch.create ~batch:1 rt in
+  let node = Heap.alloc heap ~tid:0 ~size:2 in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Epoch.create_thread s ~tid in
+        Epoch.run_op th ~op_id:1 (fun _env -> Sched.consume sched 9_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Epoch.create_thread s ~tid in
+        Sched.consume sched 500;
+        Epoch.run_op th ~op_id:2 (fun env -> Epoch.retire env node))
+  in
+  Sched.run sched;
+  let st = Epoch.stats s in
+  checki "one free" 1 st.Guard.freed;
+  checkb "lag covers the wait" true (st.Guard.lag_max >= 5_000);
+  checkb "mean lag positive" true (Guard.mean_lag st > 0.)
+
+let test_lag_zero_for_immediate () =
+  let sched, heap, rt = world () in
+  ignore (Heap.allocs heap);
+  let s = Immediate.create rt in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Immediate.create_thread s ~tid in
+        Immediate.run_op th ~op_id:1 (fun env ->
+            let n = Immediate.alloc env ~size:2 in
+            Immediate.retire env n))
+  in
+  Sched.run sched;
+  checkb "immediate lag is tiny" true ((Immediate.stats s).Guard.lag_max < 200)
+
+let () =
+  Alcotest.run "st_reclaim"
+    [
+      ( "hazard",
+        [
+          Alcotest.test_case "blocks free" `Quick test_hazard_blocks_free;
+          Alcotest.test_case "validation retries" `Quick
+            test_hazard_validation_retries_on_change;
+          Alcotest.test_case "crash tolerant" `Quick
+            test_hazard_crash_does_not_block_others;
+        ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "grace period" `Quick test_epoch_defers_until_grace;
+          Alcotest.test_case "crash leaks" `Quick test_epoch_crash_leaks_forever;
+        ] );
+      ( "dta",
+        [
+          Alcotest.test_case "recovers from stall" `Quick
+            test_dta_recovers_from_stalled_thread;
+        ] );
+      ( "lag",
+        [
+          Alcotest.test_case "epoch lag measured" `Quick test_lag_measured;
+          Alcotest.test_case "immediate lag ~0" `Quick test_lag_zero_for_immediate;
+        ] );
+      ( "refcount",
+        [
+          Alcotest.test_case "frees on zero" `Quick test_refcount_frees_on_zero;
+          Alcotest.test_case "link blocks free" `Quick
+            test_refcount_link_blocks_free;
+          Alcotest.test_case "holder blocks free" `Quick
+            test_refcount_holder_blocks_free;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Stress suite: hammer every (structure x scheme) combination across many
+   seeds with adversarial parameters — tiny key ranges (maximal contention),
+   high mutation rates (maximal reclamation pressure), forced slow paths,
+   thread crashes, and oversubscribed cores — asserting zero memory-safety
+   violations every time.  The shadow checker makes each run a concurrency
+   soundness proof obligation; the Immediate control confirms the checker
+   still has teeth under the same parameters. *)
+
+open St_harness
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let seeds = [ 0x1; 0x2BAD; 0x5EED5; 77_777; 987_654_321 ]
+
+let hot_config =
+  {
+    Experiment.default_config with
+    threads = 10;
+    duration = 250_000;
+    key_range = 24;
+    init_size = 12;
+    mutation_pct = 80;
+    n_buckets = 4;
+    quantum = 20_000;
+  }
+
+let assert_safe name (r : Experiment.result) =
+  if r.Experiment.violations > 0 then
+    Alcotest.failf "%s: %d violations (%s)" name r.Experiment.violations
+      (String.concat "; "
+         (List.map
+            (fun v -> Format.asprintf "%a" St_mem.Shadow.pp_violation v)
+            r.Experiment.violation_samples))
+
+let stress structure scheme () =
+  List.iter
+    (fun seed ->
+      let r = Experiment.run { hot_config with structure; scheme; seed } in
+      assert_safe
+        (Printf.sprintf "%s/%s seed=%d"
+           (Experiment.structure_name structure)
+           (Experiment.scheme_name scheme)
+           seed)
+        r;
+      checkb "made progress" true (r.Experiment.total_ops > 50))
+    seeds
+
+let stress_slowpath () =
+  (* Half the operations forced onto the software slow path, under
+     contention: exercises refs-set scanning and fast/slow interplay. *)
+  List.iter
+    (fun seed ->
+      let scheme =
+        Experiment.Stacktrack_s
+          { Stacktrack.St_config.default with forced_slow_pct = 50 }
+      in
+      let r = Experiment.run { hot_config with scheme; seed } in
+      assert_safe (Printf.sprintf "slowpath seed=%d" seed) r;
+      match r.Experiment.st with
+      | Some st ->
+          checkb "slow ops happened" true (st.Stacktrack.Scheme_stats.slow_ops > 0)
+      | None -> Alcotest.fail "no st stats")
+    seeds
+
+let stress_crash () =
+  (* Crash two threads mid-run under every non-blocking scheme. *)
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun seed ->
+          let r =
+            Experiment.run
+              { hot_config with scheme; seed; crash_tids = [ 0; 3 ] }
+          in
+          assert_safe
+            (Printf.sprintf "crash/%s seed=%d" (Experiment.scheme_name scheme) seed)
+            r)
+        seeds)
+    [ Experiment.stacktrack_default; Experiment.Hazards; Experiment.Epoch ]
+
+let stress_hash_scan_variant () =
+  List.iter
+    (fun seed ->
+      let scheme =
+        Experiment.Stacktrack_s
+          { Stacktrack.St_config.default with hash_scan = true; max_free = 4 }
+      in
+      let r = Experiment.run { hot_config with scheme; seed } in
+      assert_safe (Printf.sprintf "hash-scan seed=%d" seed) r;
+      checkb "frees happened" true (r.Experiment.frees > 0))
+    seeds
+
+let stress_tiny_batches () =
+  (* max_free = 0: a global scan on every single retirement. *)
+  let scheme =
+    Experiment.Stacktrack_s { Stacktrack.St_config.default with max_free = 0 }
+  in
+  let r = Experiment.run { hot_config with scheme; seed = 424_242 } in
+  assert_safe "scan-per-free" r;
+  checkb "scans ran" true (r.Experiment.reclaim.St_reclaim.Guard.scans > 10)
+
+let stress_zipf () =
+  (* Skewed keys concentrate contention on a few nodes. *)
+  List.iter
+    (fun scheme ->
+      let r =
+        Experiment.run
+          {
+            hot_config with
+            scheme;
+            key_range = 256;
+            init_size = 64;
+            dist = St_workload.Workload.Zipf 0.99;
+            seed = 31_337;
+          }
+      in
+      assert_safe (Printf.sprintf "zipf/%s" (Experiment.scheme_name scheme)) r)
+    [ Experiment.stacktrack_default; Experiment.Hazards; Experiment.Refcount_s ]
+
+let stress_stm_backend () =
+  (* StackTrack over the TL2-style STM backend: same safety obligations,
+     no capacity/interrupt aborts, read-time validation instead. *)
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun seed ->
+          let r =
+            Experiment.run
+              {
+                hot_config with
+                structure;
+                scheme = Experiment.stacktrack_default;
+                backend = St_htm.Tsx.Stm;
+                seed;
+              }
+          in
+          assert_safe
+            (Printf.sprintf "stm/%s seed=%d"
+               (Experiment.structure_name structure)
+               seed)
+            r;
+          checkb "progress" true (r.Experiment.total_ops > 50);
+          checki "no capacity aborts under STM" 0
+            r.Experiment.htm.St_htm.Htm_stats.capacity_aborts;
+          checki "no interrupt aborts under STM" 0
+            r.Experiment.htm.St_htm.Htm_stats.interrupt_aborts)
+        seeds)
+    [ Experiment.List_s; Experiment.Skiplist_s; Experiment.Queue_s ]
+
+let detector_control () =
+  (* Same adversarial parameters must trip the checker for the unsafe
+     scheme — otherwise the green runs above prove nothing. *)
+  let tripped = ref 0 in
+  List.iter
+    (fun seed ->
+      let r =
+        Experiment.run
+          { hot_config with scheme = Experiment.Immediate_unsafe; seed }
+      in
+      if r.Experiment.violations > 0 then incr tripped)
+    seeds;
+  checkb "detector trips on most seeds" true (!tripped >= 3)
+
+let determinism_across_schemes () =
+  (* Every scheme must be a deterministic function of the seed. *)
+  List.iter
+    (fun scheme ->
+      let run () =
+        let r = Experiment.run { hot_config with scheme; seed = 5 } in
+        (r.Experiment.total_ops, r.Experiment.makespan, r.Experiment.frees)
+      in
+      let a = run () and b = run () in
+      if a <> b then
+        Alcotest.failf "%s not deterministic" (Experiment.scheme_name scheme))
+    [
+      Experiment.Original;
+      Experiment.Hazards;
+      Experiment.Epoch;
+      Experiment.stacktrack_default;
+      Experiment.Dta;
+      Experiment.Refcount_s;
+    ];
+  checki "ok" 0 0
+
+let structures =
+  [
+    (Experiment.List_s, "list");
+    (Experiment.Skiplist_s, "skiplist");
+    (Experiment.Queue_s, "queue");
+    (Experiment.Hash_s, "hash");
+  ]
+
+let schemes =
+  [
+    Experiment.Hazards;
+    Experiment.Epoch;
+    Experiment.stacktrack_default;
+    Experiment.Refcount_s;
+  ]
+
+let matrix =
+  List.concat_map
+    (fun (structure, sname) ->
+      List.map
+        (fun scheme ->
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s x%d seeds" sname
+               (Experiment.scheme_name scheme)
+               (List.length seeds))
+            `Slow (stress structure scheme))
+        (schemes
+        @ if structure = Experiment.List_s then [ Experiment.Dta ] else []))
+    structures
+
+let () =
+  Alcotest.run "stress"
+    [
+      ("matrix", matrix);
+      ( "special",
+        [
+          Alcotest.test_case "forced slow path" `Slow stress_slowpath;
+          Alcotest.test_case "crashes" `Slow stress_crash;
+          Alcotest.test_case "hash-scan variant" `Slow stress_hash_scan_variant;
+          Alcotest.test_case "scan per free" `Quick stress_tiny_batches;
+          Alcotest.test_case "zipf contention" `Slow stress_zipf;
+          Alcotest.test_case "stm backend" `Slow stress_stm_backend;
+          Alcotest.test_case "detector control" `Slow detector_control;
+          Alcotest.test_case "determinism" `Slow determinism_across_schemes;
+        ] );
+    ]
