@@ -122,13 +122,62 @@ let run_cmd =
       value & opt (some float) None
       & info [ "zipf" ] ~doc:"Zipfian key skew theta (default: uniform).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the result as a JSON object (config, throughput, abort \
+             mix, reclamation counters, latency summary, sampled time \
+             series) instead of the text report.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a typed event trace of the run and write it as Chrome \
+             trace-event JSON to $(docv) (open in Perfetto or \
+             chrome://tracing).")
+  in
+  let trace_capacity =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Ring capacity (events) of the recorded trace; the oldest \
+             events are dropped beyond this.")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-interval" ] ~docv:"N"
+          ~doc:
+            "Sample machine-wide counters every $(docv) virtual cycles \
+             into a time series (0 = off); included in --json output.")
+  in
   let run structure scheme threads duration keys init mutations seed buckets
-      forced_slow max_free hash_scan crash zipf =
+      forced_slow max_free hash_scan crash zipf json trace_out trace_capacity
+      metrics_interval =
     match scheme_of_string ~forced_slow ~max_free ~hash_scan scheme with
     | Error e ->
         prerr_endline e;
         exit 2
     | Ok scheme ->
+        (* Fail on an unwritable trace path before burning the run. *)
+        (match trace_out with
+        | Some file -> (
+            try close_out (open_out file)
+            with Sys_error msg ->
+              Printf.eprintf "stacktrack_bench: cannot write trace: %s\n" msg;
+              exit 2)
+        | None -> ());
+        let trace =
+          Option.map
+            (fun _ ->
+              St_sim.Trace.create ~capacity:trace_capacity ~enabled:true ())
+            trace_out
+        in
         let cfg =
           {
             Experiment.default_config with
@@ -146,16 +195,27 @@ let run_cmd =
               (match zipf with
               | None -> St_workload.Workload.Uniform
               | Some theta -> St_workload.Workload.Zipf theta);
+            metrics_interval;
+            trace;
           }
         in
-        print_result (Experiment.run cfg)
+        let r = Experiment.run cfg in
+        if json then print_string (Result_json.to_string r ^ "\n")
+        else print_result r;
+        match (trace_out, trace) with
+        | Some file, Some tr ->
+            Chrome_trace.write_file file tr;
+            if not json then
+              Format.printf "  trace               %s (%d events, %d dropped)@."
+                file (St_sim.Trace.size tr) (St_sim.Trace.dropped tr)
+        | _ -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single experiment and print its statistics.")
     Term.(
       const run $ structure $ scheme $ threads $ duration $ keys $ init
       $ mutations $ seed $ buckets $ forced_slow $ max_free $ hash_scan $ crash
-      $ zipf)
+      $ zipf $ json $ trace_out $ trace_capacity $ metrics_interval)
 
 let figures_cmd =
   let names =

@@ -122,6 +122,7 @@ let create_thread s ~tid =
 let sched env = env.th.s.rt.Guard.sched
 let tsx env = env.th.s.rt.Guard.tsx
 let costs env = Sched.costs (sched env)
+let trace env = Sched.trace (sched env)
 
 (* ------------------------------------------------------------------ *)
 (* Segment management (Alg. 2)                                         *)
@@ -133,6 +134,9 @@ let split_start env =
   env.steps <- 0;
   env.limit <-
     Predictor.limit env.th.predictor ~op_id:env.op_id ~split:env.split_idx;
+  Trace.span_begin (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
+    Trace.Engine "segment" (fun () ->
+      Printf.sprintf "split=%d limit=%d" env.split_idx env.limit);
   Tsx.start (tsx env);
   env.live <- true
 
@@ -156,6 +160,9 @@ let split_commit env =
   st.Scheme_stats.segments <- st.Scheme_stats.segments + 1;
   st.Scheme_stats.segment_len_sum <-
     st.Scheme_stats.segment_len_sum + env.steps;
+  Trace.span_end (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
+    Trace.Engine "segment" (fun () ->
+      Printf.sprintf "commit split=%d steps=%d" env.split_idx env.steps);
   env.committed <- Vec.length env.log;
   env.split_idx <- env.split_idx + 1;
   env.seg_failures <- 0;
@@ -182,6 +189,9 @@ let register_slow env =
   if not env.slow_registered then begin
     env.slow_registered <- true;
     env.th.s.slow_path_count <- env.th.s.slow_path_count + 1;
+    Trace.instant (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
+      Trace.Engine "slow-path" (fun () ->
+        Printf.sprintf "active=%d" env.th.s.slow_path_count);
     Sched.consume (sched env) (costs env).fetch_add;
     let st = env.th.s.st in
     st.Scheme_stats.slow_ops <- st.Scheme_stats.slow_ops + 1
@@ -220,11 +230,20 @@ let rollback env =
   env.live <- false;
   env.steps <- 0;
   Ctx.clear_working env.th.ctx;
+  Trace.instant (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
+    Trace.Engine "replay" (fun () ->
+      Printf.sprintf "prefix=%d" env.committed);
   env.th.s.st.Scheme_stats.replays <- env.th.s.st.Scheme_stats.replays + 1
 
 let on_hw_abort env (reason : Htm_stats.abort_reason) =
   Predictor.on_abort env.th.predictor ~op_id:env.op_id ~split:env.split_idx;
   env.seg_failures <- env.seg_failures + 1;
+  if env.live then
+    Trace.span_end (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
+      Trace.Engine "segment" (fun () ->
+        Printf.sprintf "abort:%s split=%d failures=%d"
+          (Htm_stats.reason_to_string reason)
+          env.split_idx env.seg_failures);
   (* Exponential backoff on contention: retrying instantly against a hot
      line just feeds the doom-replay storm. *)
   let cap = env.th.s.cfg.St_config.conflict_backoff in
@@ -570,13 +589,28 @@ let scan_and_free_hashed th =
 
 let scan_and_free th =
   let s = th.s in
+  let sched = s.rt.Guard.sched in
+  let tr = Sched.trace sched in
+  let pending = Vec.length th.free_set in
+  Trace.span_begin tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim "scan"
+    (fun () -> Printf.sprintf "pending=%d" pending);
   s.st.Scheme_stats.scans <- s.st.Scheme_stats.scans + 1;
   s.stats.Guard.scans <- s.stats.Guard.scans + 1;
   if s.cfg.St_config.hash_scan then scan_and_free_hashed th
   else scan_and_free_plain th;
-  s.stats.Guard.scan_words <- s.st.Scheme_stats.stack_words
+  s.stats.Guard.scan_words <- s.st.Scheme_stats.stack_words;
+  Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim "scan"
+    (fun () ->
+      Printf.sprintf "freed=%d held=%d"
+        (pending - Vec.length th.free_set)
+        (Vec.length th.free_set))
 
 let free_impl th addr =
+  Trace.instant
+    (Sched.trace th.s.rt.Guard.sched)
+    ~time:(Sched.now th.s.rt.Guard.sched)
+    ~tid:th.tid Trace.Reclaim "retire" (fun () ->
+      Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.free_set + 1));
   Guard.note_retire th.s.stats
     ~now:(Sched.now th.s.rt.Guard.sched) addr;
   Vec.push th.free_set addr;
@@ -626,6 +660,10 @@ let finish_op env =
         st.Scheme_stats.segments <- st.Scheme_stats.segments + 1;
         st.Scheme_stats.segment_len_sum <-
           st.Scheme_stats.segment_len_sum + env.steps;
+        Trace.span_end (trace env) ~time:(Sched.now (sched env))
+          ~tid:env.th.tid Trace.Engine "segment" (fun () ->
+            Printf.sprintf "commit-final split=%d steps=%d" env.split_idx
+              env.steps);
         env.live <- false
       end
   | Slow ->
@@ -713,3 +751,10 @@ let quiesce th =
   if Vec.length th.free_set > 0 then scan_and_free th
 
 let pending_frees th = Vec.length th.free_set
+
+let total_pending_frees s =
+  Array.fold_left
+    (fun acc -> function
+      | Some th -> acc + Vec.length th.free_set
+      | None -> acc)
+    0 s.threads

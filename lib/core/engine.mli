@@ -51,3 +51,8 @@ val atomic_region : env -> (unit -> 'a) -> 'a
 val pending_frees : thread -> int
 (** Number of retired pointers buffered in this thread's free set, awaiting
     the next global scan. *)
+
+val total_pending_frees : t -> int
+(** Sum of {!pending_frees} over every registered thread — the scheme-wide
+    backlog of retired-but-unfreed memory, sampled by the harness's
+    metrics time series. *)

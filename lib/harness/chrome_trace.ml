@@ -1,0 +1,55 @@
+(** Chrome trace-event export for {!St_sim.Trace}.
+
+    Emits the JSON Object Format of the Trace Event specification, loadable
+    in Perfetto ({:https://ui.perfetto.dev}) or [chrome://tracing].  Each
+    simulated thread becomes one timeline row; [Begin]/[End] events render
+    as duration slices (transactions, segments, scans, stalls) and
+    [Instant] events as markers (retire, preempt, abort).  Virtual cycles
+    are mapped 1:1 onto the format's microsecond timestamps.
+
+    The export is deterministic: two runs with the same seed and
+    configuration produce byte-identical files. *)
+
+open St_sim
+
+let phase_string = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+
+let event_json ~pid (e : Trace.event) =
+  Json_out.Obj
+    ([
+       ("name", Json_out.String e.Trace.name);
+       ("cat", Json_out.String (Trace.category_name e.Trace.category));
+       ("ph", Json_out.String (phase_string e.Trace.phase));
+       ("ts", Json_out.Int e.Trace.time);
+       ("pid", Json_out.Int pid);
+       ("tid", Json_out.Int e.Trace.tid);
+     ]
+    @ (match e.Trace.phase with
+      | Trace.Instant -> [ ("s", Json_out.String "t") ]
+      | Trace.Begin | Trace.End -> [])
+    @
+    if e.Trace.detail = "" then []
+    else
+      [ ("args", Json_out.Obj [ ("detail", Json_out.String e.Trace.detail) ]) ])
+
+let to_json ?(pid = 0) trace =
+  let events = ref [] in
+  Trace.iter trace (fun e -> events := event_json ~pid e :: !events);
+  Json_out.Obj
+    [
+      ("traceEvents", Json_out.List (List.rev !events));
+      ("displayTimeUnit", Json_out.String "ms");
+      ( "otherData",
+        Json_out.Obj
+          [
+            ("clock", Json_out.String "virtual-cycles");
+            ("recorded", Json_out.Int (Trace.total trace));
+            ("dropped", Json_out.Int (Trace.dropped trace));
+          ] );
+    ]
+
+let to_string ?pid trace = Json_out.to_string (to_json ?pid trace)
+let write_file ?pid path trace = Json_out.write_file path (to_json ?pid trace)

@@ -53,7 +53,15 @@ type config = {
   backend : Tsx.backend;  (** HTM (default) or the TL2-style STM. *)
   crash_tids : int list;  (** Threads crashed at ~25% of the run. *)
   sample_live : int;
-      (** Sampling interval (cycles) for the live-object profile; 0 = off. *)
+      (** Sampling interval (cycles) for the live-object profile; 0 = off.
+          Subsumed by [metrics_interval] (which also captures live
+          objects); kept as the lightweight single-series knob. *)
+  metrics_interval : int;
+      (** Sampling interval (cycles) for the full {!Metrics} time series
+          (throughput, abort mix, pending frees, scans...); 0 = off. *)
+  trace : St_sim.Trace.t option;
+      (** Event sink wired into the simulated machine; [None] (default)
+          installs a disabled trace, so instrumentation costs nothing. *)
 }
 
 let default_config =
@@ -75,6 +83,8 @@ let default_config =
     backend = Tsx.Htm;
     crash_tids = [];
     sample_live = 0;
+    metrics_interval = 0;
+    trace = None;
   }
 
 type result = {
@@ -97,6 +107,8 @@ type result = {
   latency : Latency.t;  (** Per-operation latency distribution (cycles). *)
   live_samples : (int * int) list;
       (** (time, live objects) samples when [sample_live] > 0. *)
+  metrics : Metrics.sample list;
+      (** Full counter time series when [metrics_interval] > 0. *)
   peak_live : int;
 }
 
@@ -188,7 +200,8 @@ let worker_loop ~sched ~duration ~ops_per_thread ~latency ~(mk : int -> 'th)
 let run cfg =
   let topo = Topology.create ~cores:cfg.cores ~smt:cfg.smt () in
   let sched =
-    Sched.create ~topology:topo ~quantum:cfg.quantum ~seed:cfg.seed ()
+    Sched.create ~topology:topo ~quantum:cfg.quantum ?trace:cfg.trace
+      ~seed:cfg.seed ()
   in
   let shadow = Shadow.create () in
   let heap = Heap.create ~initial_words:(1 lsl 18) ~shadow () in
@@ -204,6 +217,44 @@ let run cfg =
   let ops_per_thread = Array.make cfg.threads 0 in
   let latency = Latency.create () in
   let live_samples = ref [] in
+
+  (* Snapshot every machine-wide counter for the metrics time series.
+     Counters are cumulative; consumers difference consecutive samples. *)
+  let metrics_acc = ref [] in
+  let scheme_guard_stats () =
+    match inst.packed with Packed ((module G), s) -> G.stats s
+  in
+  let metrics_snapshot () =
+    let htm = Tsx.total_stats tsx in
+    let g = scheme_guard_stats () in
+    let st = Option.map Stacktrack.Engine.scheme_stats inst.st_handle in
+    {
+      Metrics.time = Sched.now sched;
+      ops = Array.fold_left ( + ) 0 ops_per_thread;
+      live_objects = Heap.live_objects heap;
+      allocs = Heap.allocs heap;
+      frees = Heap.frees heap;
+      retired = g.Guard.retired;
+      freed = g.Guard.freed;
+      pending_frees =
+        (match inst.st_handle with
+        | Some e -> Stacktrack.Engine.total_pending_frees e
+        | None -> g.Guard.retired - g.Guard.freed);
+      starts = htm.Htm_stats.starts;
+      commits = htm.Htm_stats.commits;
+      conflict_aborts = htm.Htm_stats.conflict_aborts;
+      capacity_aborts = htm.Htm_stats.capacity_aborts;
+      interrupt_aborts = htm.Htm_stats.interrupt_aborts;
+      explicit_aborts = htm.Htm_stats.explicit_aborts;
+      scans = g.Guard.scans;
+      scan_restarts =
+        (match st with
+        | Some st -> st.Stacktrack.Scheme_stats.scan_restarts
+        | None -> 0);
+      stall_cycles = g.Guard.stall_cycles;
+      context_switches = Sched.context_switches sched;
+    }
+  in
 
   let set_gen tid =
     St_workload.Workload.set_gen
@@ -229,6 +280,23 @@ let run cfg =
                Sched.consume sched cfg.sample_live;
                live_samples :=
                  (Sched.now sched, Heap.live_objects heap) :: !live_samples
+             done));
+    (* The sampler aims at absolute tick times: its core clock is shared
+       with co-scheduled workers, so consuming a fixed interval per
+       iteration would drift by everything the workers consume in
+       between. *)
+    if cfg.metrics_interval > 0 then
+      ignore
+        (Sched.add_thread sched (fun _ ->
+             let next = ref cfg.metrics_interval in
+             while Sched.now sched < cfg.duration do
+               Sched.consume sched (max 1 (!next - Sched.now sched));
+               if Sched.now sched >= !next then begin
+                 metrics_acc := metrics_snapshot () :: !metrics_acc;
+                 next :=
+                   ((Sched.now sched / cfg.metrics_interval) + 1)
+                   * cfg.metrics_interval
+               end
              done));
     Sched.run sched
   in
@@ -334,5 +402,6 @@ let run cfg =
     leaked = Heap.live_objects heap - final_size;
     latency;
     live_samples = List.rev !live_samples;
+    metrics = List.rev !metrics_acc;
     peak_live = Heap.peak_live heap;
   }

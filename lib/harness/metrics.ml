@@ -1,0 +1,56 @@
+(** Virtual-time metrics sampling.
+
+    A sampler thread (registered by [Experiment.run] when
+    [metrics_interval] > 0) snapshots the machine-wide counters every N
+    virtual cycles, producing the time series behind reclamation-stall and
+    free-set-growth analyses: a throughput dip is attributable to the abort
+    mix, a memory ramp to the pending-free backlog, in the same run.
+
+    Samples hold cumulative counters; consumers difference consecutive
+    samples for rates.  Because the simulator is deterministic, the series
+    is a pure function of the seed and configuration. *)
+
+type sample = {
+  time : int;  (** Virtual time of the snapshot (sampler-core clock). *)
+  ops : int;  (** Completed data-structure operations, all threads. *)
+  live_objects : int;
+  allocs : int;
+  frees : int;
+  retired : int;  (** Nodes handed to the scheme for reclamation. *)
+  freed : int;  (** Nodes the scheme returned to the allocator. *)
+  pending_frees : int;  (** Retired-but-unfreed backlog. *)
+  starts : int;  (** Transactions started. *)
+  commits : int;
+  conflict_aborts : int;
+  capacity_aborts : int;
+  interrupt_aborts : int;
+  explicit_aborts : int;
+  scans : int;  (** Reclamation scan passes. *)
+  scan_restarts : int;  (** StackTrack Alg. 1 inspection restarts. *)
+  stall_cycles : int;  (** Cycles reclaimers spent blocked. *)
+  context_switches : int;
+}
+
+type t = { interval : int; mutable rev_samples : sample list; mutable n : int }
+
+let create ~interval =
+  assert (interval > 0);
+  { interval; rev_samples = []; n = 0 }
+
+let interval t = t.interval
+
+let push t s =
+  t.rev_samples <- s :: t.rev_samples;
+  t.n <- t.n + 1
+
+let count t = t.n
+let samples t = List.rev t.rev_samples
+
+let aborts s =
+  s.conflict_aborts + s.capacity_aborts + s.interrupt_aborts
+  + s.explicit_aborts
+
+let pp_sample ppf s =
+  Format.fprintf ppf
+    "[%10d] ops=%d live=%d pending=%d commits=%d aborts=%d scans=%d" s.time
+    s.ops s.live_objects s.pending_frees s.commits (aborts s) s.scans

@@ -1,0 +1,156 @@
+(** Machine-readable encoding of {!Experiment.result}.
+
+    One JSON object per run: the configuration that produced it, the
+    headline numbers (throughput, abort mix, reclamation counters), the
+    latency distribution summary, and the sampled time series — everything
+    a figure script or perf-trajectory tracker needs without scraping the
+    text tables.  Output is deterministic for a given seed/configuration
+    (see {!Json_out}). *)
+
+open St_htm
+open St_reclaim
+
+let of_config (c : Experiment.config) =
+  Json_out.Obj
+    [
+      ("structure", Json_out.String (Experiment.structure_name c.structure));
+      ("scheme", Json_out.String (Experiment.scheme_name c.scheme));
+      ("threads", Json_out.Int c.threads);
+      ("duration", Json_out.Int c.duration);
+      ("key_range", Json_out.Int c.key_range);
+      ("init_size", Json_out.Int c.init_size);
+      ("mutation_pct", Json_out.Int c.mutation_pct);
+      ("n_buckets", Json_out.Int c.n_buckets);
+      ("seed", Json_out.Int c.seed);
+      ("cores", Json_out.Int c.cores);
+      ("smt", Json_out.Int c.smt);
+      ("quantum", Json_out.Int c.quantum);
+      ( "backend",
+        Json_out.String (match c.backend with Tsx.Htm -> "htm" | Tsx.Stm -> "stm")
+      );
+      ("crash_tids", Json_out.List (List.map (fun t -> Json_out.Int t) c.crash_tids));
+      ("metrics_interval", Json_out.Int c.metrics_interval);
+    ]
+
+let of_htm (h : Htm_stats.t) =
+  Json_out.Obj
+    [
+      ("starts", Json_out.Int h.starts);
+      ("commits", Json_out.Int h.commits);
+      ( "aborts",
+        Json_out.Obj
+          [
+            ("conflict", Json_out.Int h.conflict_aborts);
+            ("capacity", Json_out.Int h.capacity_aborts);
+            ("interrupt", Json_out.Int h.interrupt_aborts);
+            ("explicit", Json_out.Int h.explicit_aborts);
+            ("total", Json_out.Int (Htm_stats.aborts h));
+          ] );
+      ("data_set_lines", Json_out.Int h.data_set_lines);
+    ]
+
+let of_reclaim (g : Guard.stats) =
+  Json_out.Obj
+    [
+      ("retired", Json_out.Int g.retired);
+      ("freed", Json_out.Int g.freed);
+      ("scans", Json_out.Int g.scans);
+      ("scan_words", Json_out.Int g.scan_words);
+      ("stall_cycles", Json_out.Int g.stall_cycles);
+      ("protect_fences", Json_out.Int g.protect_fences);
+      ("mean_lag", Json_out.Float (Guard.mean_lag g));
+      ("max_lag", Json_out.Int g.lag_max);
+    ]
+
+let of_scheme_stats (st : Stacktrack.Scheme_stats.t) =
+  Json_out.Obj
+    [
+      ("ops", Json_out.Int st.ops);
+      ("fast_ops", Json_out.Int st.fast_ops);
+      ("slow_ops", Json_out.Int st.slow_ops);
+      ("segments", Json_out.Int st.segments);
+      ("avg_splits_per_op", Json_out.Float (Stacktrack.Scheme_stats.avg_splits_per_op st));
+      ("avg_segment_length", Json_out.Float (Stacktrack.Scheme_stats.avg_segment_length st));
+      ("replays", Json_out.Int st.replays);
+      ("scans", Json_out.Int st.scans);
+      ("scan_restarts", Json_out.Int st.scan_restarts);
+      ("inspections", Json_out.Int st.inspections);
+      ("stack_words", Json_out.Int st.stack_words);
+      ("slow_reads", Json_out.Int st.slow_reads);
+      ("slow_validation_failures", Json_out.Int st.slow_validation_failures);
+    ]
+
+let of_latency l =
+  Json_out.Obj
+    [
+      ("count", Json_out.Int (Latency.count l));
+      ("mean", Json_out.Float (Latency.mean l));
+      ("p50", Json_out.Int (Latency.percentile l 50.));
+      ("p95", Json_out.Int (Latency.percentile l 95.));
+      ("p99", Json_out.Int (Latency.percentile l 99.));
+      ("max", Json_out.Int (Latency.max_value l));
+    ]
+
+let of_metrics_sample (s : Metrics.sample) =
+  Json_out.Obj
+    [
+      ("time", Json_out.Int s.time);
+      ("ops", Json_out.Int s.ops);
+      ("live_objects", Json_out.Int s.live_objects);
+      ("allocs", Json_out.Int s.allocs);
+      ("frees", Json_out.Int s.frees);
+      ("retired", Json_out.Int s.retired);
+      ("freed", Json_out.Int s.freed);
+      ("pending_frees", Json_out.Int s.pending_frees);
+      ("starts", Json_out.Int s.starts);
+      ("commits", Json_out.Int s.commits);
+      ( "aborts",
+        Json_out.Obj
+          [
+            ("conflict", Json_out.Int s.conflict_aborts);
+            ("capacity", Json_out.Int s.capacity_aborts);
+            ("interrupt", Json_out.Int s.interrupt_aborts);
+            ("explicit", Json_out.Int s.explicit_aborts);
+          ] );
+      ("scans", Json_out.Int s.scans);
+      ("scan_restarts", Json_out.Int s.scan_restarts);
+      ("stall_cycles", Json_out.Int s.stall_cycles);
+      ("context_switches", Json_out.Int s.context_switches);
+    ]
+
+let encode (r : Experiment.result) =
+  Json_out.Obj
+    [
+      ("config", of_config r.cfg);
+      ("total_ops", Json_out.Int r.total_ops);
+      ( "ops_per_thread",
+        Json_out.List
+          (Array.to_list (Array.map (fun n -> Json_out.Int n) r.ops_per_thread))
+      );
+      ("makespan", Json_out.Int r.makespan);
+      ("throughput", Json_out.Float r.throughput);
+      ("htm", of_htm r.htm);
+      ("reclaim", of_reclaim r.reclaim);
+      ( "stacktrack",
+        match r.st with Some st -> of_scheme_stats st | None -> Json_out.Null );
+      ("latency", of_latency r.latency);
+      ("allocs", Json_out.Int r.allocs);
+      ("frees", Json_out.Int r.frees);
+      ("live_at_end", Json_out.Int r.live_at_end);
+      ("peak_live", Json_out.Int r.peak_live);
+      ("context_switches", Json_out.Int r.context_switches);
+      ("final_size", Json_out.Int r.final_size);
+      ("leaked", Json_out.Int r.leaked);
+      ("violations", Json_out.Int r.violations);
+      ( "live_samples",
+        Json_out.List
+          (List.map
+             (fun (t, live) ->
+               Json_out.Obj
+                 [ ("time", Json_out.Int t); ("live", Json_out.Int live) ])
+             r.live_samples) );
+      ("metrics", Json_out.List (List.map of_metrics_sample r.metrics));
+    ]
+
+let to_string r = Json_out.to_string (encode r)
+let write_file path r = Json_out.write_file path (encode r)

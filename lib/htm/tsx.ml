@@ -70,7 +70,10 @@ let create ?(cache = Cache.create ()) ?(backend = Htm) ~sched ~heap () =
   if backend = Htm then
     Sched.on_preempt sched (fun tid ->
         match t.txns.(tid) with
-        | Some txn -> txn.doomed <- Some Htm_stats.Interrupt
+        | Some txn ->
+            txn.doomed <- Some Htm_stats.Interrupt;
+            Trace.instant (Sched.trace sched) ~time:(Sched.now sched) ~tid
+              Trace.Htm "doom" (fun () -> "interrupt")
         | None -> ());
   t
 
@@ -84,6 +87,7 @@ let total_stats t =
 
 let costs t = Sched.costs t.sched
 let tid t = Sched.current t.sched
+let trace t = Sched.trace t.sched
 
 let my_txn t = t.txns.(tid t)
 
@@ -97,6 +101,11 @@ let data_set_lines t = match my_txn t with Some x -> footprint x | None -> 0
 let do_abort t txn reason =
   t.txns.(txn.owner) <- None;
   Htm_stats.record_abort t.stats.(txn.owner) reason;
+  Trace.span_end (trace t) ~time:(Sched.now t.sched) ~tid:txn.owner Trace.Htm
+    "txn" (fun () ->
+      Printf.sprintf "abort:%s lines=%d"
+        (Htm_stats.reason_to_string reason)
+        (Hashtbl.length txn.lines));
   Sched.consume t.sched (costs t).htm_abort;
   raise (Abort reason)
 
@@ -136,8 +145,12 @@ let pressure_evict t ~me =
     match t.txns.(victim_tid) with
     | Some txn when txn.doomed = None ->
         let fp = footprint txn in
-        if fp > 0 && Rng.int t.evict_rng (total_lines * denom) < fp then
-          txn.doomed <- Some Htm_stats.Capacity
+        if fp > 0 && Rng.int t.evict_rng (total_lines * denom) < fp then begin
+          txn.doomed <- Some Htm_stats.Capacity;
+          Trace.instant (trace t) ~time:(Sched.now t.sched) ~tid:victim_tid
+            Trace.Cache "evict" (fun () ->
+              Printf.sprintf "by=%d footprint=%d" me fp)
+        end
     | _ -> ()
   in
   (* Self-interference. *)
@@ -239,6 +252,8 @@ let start t =
   in
   t.txns.(me) <- Some txn;
   t.stats.(me).starts <- t.stats.(me).starts + 1;
+  Trace.span_begin (trace t) ~time:(Sched.now t.sched) ~tid:me Trace.Htm "txn"
+    Trace.no_detail;
   Sched.consume t.sched (costs t).htm_begin
 
 let txn_read t txn addr =
@@ -319,7 +334,9 @@ let commit t =
       t.txns.(me) <- None;
       t.stats.(me).commits <- t.stats.(me).commits + 1;
       t.stats.(me).data_set_lines <-
-        t.stats.(me).data_set_lines + footprint txn
+        t.stats.(me).data_set_lines + footprint txn;
+      Trace.span_end (trace t) ~time:(Sched.now t.sched) ~tid:me Trace.Htm
+        "txn" (fun () -> Printf.sprintf "commit lines=%d" (footprint txn))
 
 let abort t =
   match my_txn t with

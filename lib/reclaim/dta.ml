@@ -128,6 +128,9 @@ module Hooks = struct
     let s = th.s in
     let sched = s.rt.Guard.sched in
     let costs = Sched.costs sched in
+    let pending = Vec.length th.buffer in
+    Trace.span_begin (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
+      Trace.Reclaim "scan" (fun () -> Printf.sprintf "pending=%d" pending);
     s.stats.Guard.scans <- s.stats.Guard.scans + 1;
     let protected_set = Hashtbl.create 32 in
     let t0 = Sched.now sched in
@@ -189,7 +192,13 @@ module Hooks = struct
       (fun tid ->
         s.frozen.(tid) <- false;
         Sched.consume sched costs.store)
-      !frozen_victims
+      !frozen_victims;
+    Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
+      Trace.Reclaim "scan" (fun () ->
+        Printf.sprintf "freed=%d held=%d stall=%d frozen=%d"
+          (pending - Vec.length th.buffer)
+          (Vec.length th.buffer) (Sched.now sched - t0)
+          (List.length !frozen_victims))
 
   (* Like epoch, reclamation runs at the quiescent operation boundary so
      reclaimers never stall each other mid-operation. *)

@@ -101,6 +101,9 @@ module Hooks = struct
     let s = th.s in
     let sched = s.rt.Guard.sched in
     let costs = Sched.costs sched in
+    let pending = Vec.length th.buffer in
+    Trace.span_begin (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
+      Trace.Reclaim "scan" (fun () -> Printf.sprintf "pending=%d" pending);
     s.stats.Guard.scans <- s.stats.Guard.scans + 1;
     let protected_set = Hashtbl.create 64 in
     List.iter
@@ -120,10 +123,19 @@ module Hooks = struct
           Guard.note_free s.stats ~now:(Sched.now sched) addr;
           false
         end)
-      th.buffer
+      th.buffer;
+    Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
+      Trace.Reclaim "scan" (fun () ->
+        Printf.sprintf "freed=%d held=%d"
+          (pending - Vec.length th.buffer)
+          (Vec.length th.buffer))
 
   let retire th addr =
-    Guard.note_retire th.s.stats ~now:(Sched.now th.s.rt.Guard.sched) addr;
+    let sched = th.s.rt.Guard.sched in
+    Trace.instant (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
+      Trace.Reclaim "retire" (fun () ->
+        Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.buffer + 1));
+    Guard.note_retire th.s.stats ~now:(Sched.now sched) addr;
     Vec.push th.buffer addr;
     if Vec.length th.buffer >= th.s.batch then scan th
 

@@ -28,6 +28,7 @@ type t = {
   quantum : int;
   ht_penalty_pct : int;
   rng : Rng.t;
+  trace : Trace.t;
   mutable clocks : int array; (* per lcore *)
   mutable threads : thread list; (* reversed during registration *)
   mutable arr : thread array;
@@ -39,7 +40,8 @@ type t = {
 }
 
 let create ?(topology = Topology.create ()) ?(costs = Costs.default)
-    ?(quantum = 50_000) ?(ht_penalty_pct = 140) ~seed () =
+    ?(quantum = 50_000) ?(ht_penalty_pct = 140)
+    ?(trace = Trace.create ~enabled:false ()) ~seed () =
   let n = Topology.lcores topology in
   {
     topo = topology;
@@ -47,6 +49,7 @@ let create ?(topology = Topology.create ()) ?(costs = Costs.default)
     quantum;
     ht_penalty_pct;
     rng = Rng.create ~seed;
+    trace;
     clocks = Array.make n 0;
     threads = [];
     arr = [||];
@@ -60,6 +63,7 @@ let create ?(topology = Topology.create ()) ?(costs = Costs.default)
 let costs t = t.costs
 let topology t = t.topo
 let rng t = t.rng
+let trace t = t.trace
 
 let add_thread t body =
   assert (not t.started);
@@ -115,6 +119,8 @@ let n_threads t = Array.length t.arr
 
 let crash t tid =
   let th = t.arr.(tid) in
+  Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid Trace.Sched "crash"
+    Trace.no_detail;
   (match th.state with
   | Finished | Crashed -> ()
   | Not_started _ ->
@@ -158,9 +164,15 @@ let pick t =
 
 let maybe_preempt t th =
   if th.slice_used >= t.quantum && Queue.length t.queues.(th.lcore) > 1 then begin
+    Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
+      "preempt" (fun () -> Printf.sprintf "lcore=%d" th.lcore);
     fire_preempt t th.tid;
     t.context_switches <- t.context_switches + 1;
     t.clocks.(th.lcore) <- t.clocks.(th.lcore) + t.costs.context_switch;
+    Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
+      "context-switch" (fun () ->
+        Printf.sprintf "lcore=%d runnable=%d" th.lcore
+          (Queue.length t.queues.(th.lcore)));
     th.slice_used <- 0;
     let q = t.queues.(th.lcore) in
     let head = Queue.pop q in
@@ -175,7 +187,12 @@ let remove_from_queue t th =
 
 let handler t th =
   {
-    retc = (fun () -> th.state <- Finished; remove_from_queue t th);
+    retc =
+      (fun () ->
+        Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid
+          Trace.Sched "finish" Trace.no_detail;
+        th.state <- Finished;
+        remove_from_queue t th);
     exnc =
       (fun e ->
         match e with

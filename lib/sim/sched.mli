@@ -26,17 +26,25 @@ val create :
   ?costs:Costs.t ->
   ?quantum:int ->
   ?ht_penalty_pct:int ->
+  ?trace:Trace.t ->
   seed:int ->
   unit ->
   t
 (** [quantum] is the multiplexing time slice in cycles (default 50_000).
     [ht_penalty_pct] is the percentage cost multiplier applied when both SMT
-    siblings are active (default 140, i.e. 1.4x). *)
+    siblings are active (default 140, i.e. 1.4x).  [trace] is the event
+    sink shared by every layer built on this scheduler (default: a disabled
+    trace, so all instrumentation is free). *)
 
 val costs : t -> Costs.t
 val topology : t -> Topology.t
 val rng : t -> Rng.t
 (** Scheduler-level generator; threads should use {!thread_rng}. *)
+
+val trace : t -> Trace.t
+(** The machine-wide event trace.  The scheduler emits [Sched]-category
+    events (preempt, context-switch, crash, finish); the HTM, reclamation,
+    and engine layers reach the same sink through this accessor. *)
 
 val add_thread : t -> (int -> unit) -> int
 (** [add_thread t body] registers a thread; [body] receives the thread id.

@@ -1,4 +1,22 @@
-type event = { time : int; tid : int; category : string; message : string }
+type category = Sched | Cache | Htm | Reclaim | Engine
+
+let category_name = function
+  | Sched -> "sched"
+  | Cache -> "cache"
+  | Htm -> "htm"
+  | Reclaim -> "reclaim"
+  | Engine -> "engine"
+
+type phase = Instant | Begin | End
+
+type event = {
+  time : int;
+  tid : int;
+  category : category;
+  phase : phase;
+  name : string;
+  detail : string;
+}
 
 type t = {
   mutable enabled : bool;
@@ -13,15 +31,41 @@ let create ?(capacity = 4096) ~enabled () =
 
 let enabled t = t.enabled
 let enable t b = t.enabled <- b
+let no_detail () = ""
 
-let record t ~time ~tid category msg =
+let record t ~time ~tid ~phase category name detail =
   if t.enabled then begin
     t.ring.(t.next mod t.capacity) <-
-      Some { time; tid; category; message = msg () };
+      Some { time; tid; category; phase; name; detail = detail () };
     t.next <- t.next + 1
   end
 
+let instant t ~time ~tid category name detail =
+  record t ~time ~tid ~phase:Instant category name detail
+
+let span_begin t ~time ~tid category name detail =
+  record t ~time ~tid ~phase:Begin category name detail
+
+let span_end t ~time ~tid category name detail =
+  record t ~time ~tid ~phase:End category name detail
+
 let size t = min t.next t.capacity
+let total t = t.next
+let dropped t = t.next - size t
+
+let iter t f =
+  let n = size t in
+  let first = t.next - n in
+  for i = first to t.next - 1 do
+    match t.ring.(i mod t.capacity) with Some e -> f e | None -> ()
+  done
+
+let events t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let phase_marker = function Instant -> '.' | Begin -> '<' | End -> '>'
 
 let dump ?last t ppf =
   let n = size t in
@@ -30,8 +74,10 @@ let dump ?last t ppf =
   for i = first to t.next - 1 do
     match t.ring.(i mod t.capacity) with
     | Some e ->
-        Format.fprintf ppf "[%10d] t%-3d %-12s %s@." e.time e.tid e.category
-          e.message
+        Format.fprintf ppf "[%10d] t%-3d %c %-8s %-16s %s@." e.time e.tid
+          (phase_marker e.phase)
+          (category_name e.category)
+          e.name e.detail
     | None -> ()
   done
 

@@ -43,6 +43,64 @@ let test_latency_merge () =
   checki "merged count" 2 (Latency.count m);
   checki "merged max" 1000 (Latency.max_value m)
 
+(* Boundary behaviour of the half-power-of-two bucketing. *)
+let test_latency_bucket_boundaries () =
+  (* Degenerate small values all land in bucket 0. *)
+  checki "v=0" 0 (Latency.bucket_of 0);
+  checki "v=1" 0 (Latency.bucket_of 1);
+  (* Exact powers of two: 2^k lands in bucket 2k. *)
+  List.iter
+    (fun k -> checki (Printf.sprintf "2^%d" k) (2 * k) (Latency.bucket_of (1 lsl k)))
+    [ 1; 2; 3; 10; 20; 30 ];
+  (* Half-step values: 1.5 * 2^k lands in bucket 2k + 1. *)
+  List.iter
+    (fun k ->
+      checki
+        (Printf.sprintf "1.5*2^%d" k)
+        ((2 * k) + 1)
+        (Latency.bucket_of (3 lsl (k - 1))))
+    [ 1; 2; 3; 10; 20 ];
+  (* Just below a power of two stays in the upper half-bucket below it. *)
+  checki "2^10 - 1" ((2 * 9) + 1) (Latency.bucket_of ((1 lsl 10) - 1));
+  (* Saturation: enormous values clamp to the last bucket. *)
+  checki "max_int saturates" (Latency.n_buckets - 1) (Latency.bucket_of max_int);
+  checki "2^60 saturates" (Latency.n_buckets - 1) (Latency.bucket_of (1 lsl 60))
+
+let test_latency_bucket_low_roundtrip () =
+  (* bucket_low i is the smallest value in bucket i: it maps back to i, and
+     the value just below the next bucket's low bound still maps to i.
+     (Buckets 0 and 1 both have low bound 1 — bucket 1 is degenerate by
+     construction — so the round-trip law starts at i = 2.) *)
+  checki "bucket_low 0" 1 (Latency.bucket_low 0);
+  checki "bucket_low 1" 1 (Latency.bucket_low 1);
+  for i = 2 to Latency.n_buckets - 2 do
+    checki
+      (Printf.sprintf "roundtrip %d" i)
+      i
+      (Latency.bucket_of (Latency.bucket_low i));
+    checki
+      (Printf.sprintf "upper edge of %d" i)
+      i
+      (Latency.bucket_of (Latency.bucket_low (i + 1) - 1))
+  done
+
+let test_latency_percentile_empty_singleton () =
+  let empty = Latency.create () in
+  List.iter
+    (fun p -> checki (Printf.sprintf "empty p%.0f" p) 0 (Latency.percentile empty p))
+    [ 0.; 50.; 100. ];
+  checki "empty count" 0 (Latency.count empty);
+  checkb "empty mean" true (Latency.mean empty = 0.);
+  (* Singleton: every percentile reports the lone value's bucket bound. *)
+  let single = Latency.create () in
+  Latency.record single 100;
+  let expected = Latency.bucket_low (Latency.bucket_of 100) in
+  List.iter
+    (fun p ->
+      checki (Printf.sprintf "singleton p%.0f" p) expected
+        (Latency.percentile single p))
+    [ 1.; 50.; 99.; 100. ]
+
 let prop_latency_percentile_bounds =
   QCheck.Test.make ~name:"percentile bounded by max, count preserved" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_bound 1_000_000))
@@ -178,6 +236,12 @@ let () =
           Alcotest.test_case "monotone percentiles" `Quick
             test_latency_percentile_monotone;
           Alcotest.test_case "merge" `Quick test_latency_merge;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_latency_bucket_boundaries;
+          Alcotest.test_case "bucket_low roundtrip" `Quick
+            test_latency_bucket_low_roundtrip;
+          Alcotest.test_case "percentile empty/singleton" `Quick
+            test_latency_percentile_empty_singleton;
           QCheck_alcotest.to_alcotest prop_latency_percentile_bounds;
         ] );
       ( "experiment",

@@ -334,7 +334,8 @@ let test_sched_zero_cost_consume () =
 let test_trace_records () =
   let t = Trace.create ~capacity:4 ~enabled:true () in
   for i = 1 to 3 do
-    Trace.record t ~time:(i * 10) ~tid:i "evt" (fun () -> string_of_int i)
+    Trace.instant t ~time:(i * 10) ~tid:i Trace.Htm "evt" (fun () ->
+        string_of_int i)
   done;
   checki "size" 3 (Trace.size t);
   let out = Format.asprintf "%t" (fun ppf -> Trace.dump t ppf) in
@@ -343,24 +344,44 @@ let test_trace_records () =
     let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
     go 0
   in
-  checkb "has category" true (contains "evt" out);
-  checkb "has message" true (contains "3" out)
+  checkb "has category" true (contains "htm" out);
+  checkb "has name" true (contains "evt" out);
+  checkb "has detail" true (contains "3" out)
 
 let test_trace_ring_wraps () =
   let t = Trace.create ~capacity:4 ~enabled:true () in
   for i = 1 to 10 do
-    Trace.record t ~time:i ~tid:0 "e" (fun () -> string_of_int i)
+    Trace.instant t ~time:i ~tid:0 Trace.Sched "e" (fun () -> string_of_int i)
   done;
-  checki "capped at capacity" 4 (Trace.size t)
+  checki "capped at capacity" 4 (Trace.size t);
+  checki "total keeps counting" 10 (Trace.total t);
+  checki "overflow tracked" 6 (Trace.dropped t)
 
 let test_trace_disabled_free () =
   let t = Trace.create ~capacity:4 ~enabled:false () in
   let forced = ref false in
-  Trace.record t ~time:1 ~tid:0 "e" (fun () ->
+  Trace.instant t ~time:1 ~tid:0 Trace.Reclaim "e" (fun () ->
       forced := true;
       "x");
-  checkb "message not forced" false !forced;
+  checkb "detail not forced" false !forced;
   checki "nothing recorded" 0 (Trace.size t)
+
+let test_trace_typed_events () =
+  let t = Trace.create ~enabled:true () in
+  Trace.span_begin t ~time:5 ~tid:1 Trace.Htm "txn" Trace.no_detail;
+  Trace.span_end t ~time:9 ~tid:1 Trace.Htm "txn" (fun () -> "commit");
+  Trace.instant t ~time:11 ~tid:2 Trace.Reclaim "retire" Trace.no_detail;
+  match Trace.events t with
+  | [ b; e; i ] ->
+      checkb "begin phase" true (b.Trace.phase = Trace.Begin);
+      checkb "end phase" true (e.Trace.phase = Trace.End);
+      checkb "instant phase" true (i.Trace.phase = Trace.Instant);
+      checki "begin time" 5 b.Trace.time;
+      checkb "span name pairs" true (b.Trace.name = e.Trace.name);
+      checkb "detail captured" true (e.Trace.detail = "commit");
+      checkb "category label" true
+        (Trace.category_name i.Trace.category = "reclaim")
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
 
 let () =
   Alcotest.run "st_sim"
@@ -389,6 +410,7 @@ let () =
           Alcotest.test_case "records" `Quick test_trace_records;
           Alcotest.test_case "ring wraps" `Quick test_trace_ring_wraps;
           Alcotest.test_case "disabled is free" `Quick test_trace_disabled_free;
+          Alcotest.test_case "typed events" `Quick test_trace_typed_events;
         ] );
       ( "sched",
         [
