@@ -1,0 +1,125 @@
+(* Host wall-clock harness.
+
+   The bechamel micro-benchmarks in [main.ml] track the cost of one tiny
+   experiment; this harness times *figure-sized* runs so that simulator
+   performance work (e.g. the O(max_threads) -> O(active) conflict-index
+   rewrite) is measured, not asserted.  Each target runs the same config the
+   figure sweeps use, at one thread count, and prints the host milliseconds
+   next to the simulated throughput, so a perf regression shows up as a
+   bigger [host_ms] for identical simulated numbers.
+
+   Usage:
+     dune exec bench/hosttime.exe -- [--threads N] [--duration D] [--seed S]
+                                     [--repeat R] [--scheme NAME] [target ...]
+
+   Targets (default fig1-list): fig1-list fig1-skiplist fig2-queue fig2-hash
+   fig5-slowpath all. *)
+
+open St_harness
+
+let threads = ref 16
+let duration = ref 1_500_000
+let seed = ref Experiment.default_config.Experiment.seed
+let repeat = ref 1
+let scheme_arg = ref "stacktrack"
+let targets = ref []
+
+let spec =
+  [
+    ("--threads", Arg.Set_int threads, "N  Worker threads (default 16)");
+    ( "--duration",
+      Arg.Set_int duration,
+      "D  Virtual cycles per thread (default 1500000, the Full figure \
+       duration)" );
+    ("--seed", Arg.Set_int seed, "S  RNG seed");
+    ("--repeat", Arg.Set_int repeat, "R  Repetitions per target (default 1)");
+    ( "--scheme",
+      Arg.Set_string scheme_arg,
+      "NAME  original|hazards|epoch|stacktrack|dta (default stacktrack)" );
+  ]
+
+let scheme_of_name = function
+  | "original" | "none" -> Experiment.Original
+  | "hazards" | "hp" -> Experiment.Hazards
+  | "epoch" -> Experiment.Epoch
+  | "stacktrack" | "st" -> Experiment.stacktrack_default
+  | "dta" -> Experiment.Dta
+  | s ->
+      Printf.eprintf "hosttime: unknown scheme %S\n" s;
+      exit 2
+
+let base_config target =
+  let open Experiment in
+  let base =
+    {
+      default_config with
+      threads = !threads;
+      duration = !duration;
+      seed = !seed;
+      scheme = scheme_of_name !scheme_arg;
+      mutation_pct = 20;
+    }
+  in
+  match target with
+  | "fig1-list" ->
+      Some { base with structure = List_s; key_range = 1024; init_size = 512 }
+  | "fig1-skiplist" ->
+      Some
+        { base with structure = Skiplist_s; key_range = 8192; init_size = 4096 }
+  | "fig2-queue" ->
+      Some { base with structure = Queue_s; key_range = 1024; init_size = 64 }
+  | "fig2-hash" ->
+      Some
+        {
+          base with
+          structure = Hash_s;
+          key_range = 4096;
+          init_size = 2048;
+          n_buckets = 512;
+        }
+  | "fig5-slowpath" ->
+      Some
+        {
+          base with
+          structure = Skiplist_s;
+          key_range = 8192;
+          init_size = 4096;
+          scheme =
+            Stacktrack_s
+              { Stacktrack.St_config.default with forced_slow_pct = 50 };
+        }
+  | _ -> None
+
+let run_target target =
+  match base_config target with
+  | None ->
+      Printf.eprintf "hosttime: unknown target %S\n" target;
+      exit 2
+  | Some cfg ->
+      let best = ref infinity in
+      for _ = 1 to max 1 !repeat do
+        let t0 = Unix.gettimeofday () in
+        let r = Experiment.run cfg in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        if ms < !best then best := ms;
+        assert (r.Experiment.violations = 0);
+        Printf.printf
+          "%-14s threads=%-3d scheme=%-10s host_ms=%9.1f ops=%-8d \
+           makespan=%-9d tput=%8.1f ops/Mcycle\n%!"
+          target !threads !scheme_arg ms r.Experiment.total_ops
+          r.Experiment.makespan r.Experiment.throughput
+      done;
+      (target, !best)
+
+let () =
+  Arg.parse spec (fun t -> targets := t :: !targets) "hosttime [options] targets";
+  let all = [ "fig1-list"; "fig1-skiplist"; "fig2-queue"; "fig2-hash" ] in
+  let ts =
+    match List.rev !targets with
+    | [] -> [ "fig1-list" ]
+    | l when List.mem "all" l -> all
+    | l -> l
+  in
+  let results = List.map run_target ts in
+  Printf.printf "\nbest-of-%d summary:\n" (max 1 !repeat);
+  List.iter (fun (t, ms) -> Printf.printf "  %-14s %9.1f ms\n" t ms) results

@@ -7,6 +7,7 @@ type t = {
   reserved_ways : int;
   sibling_evict_denom : int;
   self_evict_denom : int;
+  total_lines : int; (* sets * ways, read on every pressure-evict draw *)
 }
 
 let create ?(line_shift = 2) ?(sets = 64) ?(ways = 8) ?(reserved_ways = 2)
@@ -15,8 +16,8 @@ let create ?(line_shift = 2) ?(sets = 64) ?(ways = 8) ?(reserved_ways = 2)
   assert (reserved_ways >= 0 && reserved_ways < ways);
   assert (sibling_evict_denom > 0 && self_evict_denom > 0);
   { line_shift; sets; ways; reserved_ways; sibling_evict_denom;
-    self_evict_denom }
+    self_evict_denom; total_lines = sets * ways }
 
 let line_of t (addr : Word.addr) = addr lsr t.line_shift
 let set_of t line = line mod t.sets
-let lines t = t.sets * t.ways
+let lines t = t.total_lines

@@ -31,6 +31,8 @@ type t = private {
       (** Same, for the thread's own non-transactional interference (stack
           spills, statistics, allocator metadata); much rarer, and the
           source of the baseline capacity-abort level at 1-4 threads. *)
+  total_lines : int;
+      (** Precomputed [sets * ways]; read on every cache-pressure draw. *)
 }
 
 val create :

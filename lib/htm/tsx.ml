@@ -26,10 +26,10 @@ type txn = {
 
 let max_threads = 256
 
-(* Debug facility: global per-line conflict-doom tally (reset per manager,
-   populated on every conflict doom).  Used to pinpoint hot lines when
-   diagnosing contention storms. *)
-let conflict_tally : (int, int) Hashtbl.t = Hashtbl.create 64
+(* Thread-id bitsets for the per-line conflict index: [max_threads] bits
+   packed into native ints. *)
+let bits_per_word = Sys.int_size
+let bitset_words = (max_threads + bits_per_word - 1) / bits_per_word
 
 type t = {
   sched : Sched.t;
@@ -45,6 +45,23 @@ type t = {
      of a remotely-dirty line, or a write to a line anyone else touched
      last, pays the coherence-miss latency. *)
   line_state : (int, int * bool) Hashtbl.t; (* line -> (owner tid, dirty) *)
+  (* Conflict index: for each line with speculative state, the set of
+     threads whose *active* transaction holds it in its read (resp. write)
+     set.  Maintained when a transaction first touches a line and cleared
+     when it commits or aborts, so [doom_conflicting] visits only the
+     transactions actually on the conflicting line instead of sweeping all
+     [max_threads] slots on every memory access. *)
+  line_readers : (int, int array) Hashtbl.t;
+  line_writers : (int, int array) Hashtbl.t;
+  (* Active-transaction registry, one list per logical core, kept sorted by
+     ascending owner tid.  [pressure_evict] consults only the SMT sibling's
+     list; the ascending order reproduces the RNG draw sequence of the old
+     0..max_threads scan exactly, keeping same-seed runs byte-identical. *)
+  active : txn list array;
+  (* Debug facility: per-line conflict-doom tally (per manager, populated
+     on every conflict doom).  Used to pinpoint hot lines when diagnosing
+     contention storms. *)
+  tally : (int, int) Hashtbl.t;
 }
 
 let create ?(cache = Cache.create ()) ?(backend = Htm) ~sched ~heap () =
@@ -60,9 +77,12 @@ let create ?(cache = Cache.create ()) ?(backend = Htm) ~sched ~heap () =
       stats = Array.init max_threads (fun _ -> Htm_stats.create ());
       evict_rng = Rng.split (Sched.rng sched);
       line_state = Hashtbl.create 4096;
+      line_readers = Hashtbl.create 4096;
+      line_writers = Hashtbl.create 1024;
+      active = Array.make (Topology.lcores (Sched.topology sched)) [];
+      tally = Hashtbl.create 64;
     }
   in
-  Hashtbl.reset conflict_tally;
   (* A timer interrupt / context switch clears the speculative cache state:
      the in-flight transaction of a preempted (or crashed) thread dies. *)
   (* Only hardware transactions die on preemption; software transactions
@@ -81,9 +101,15 @@ let heap t = t.heap
 let sched t = t.sched
 let cache t = t.cache
 let stats t ~tid = t.stats.(tid)
+let conflict_tally t = t.tally
 
 let total_stats t =
-  Htm_stats.merge (Array.to_list (Array.sub t.stats 0 max_threads))
+  (* Merge only the threads the scheduler knows about: sweeping the full
+     [max_threads] slots allocated a 256-element array + list per call even
+     for a 2-thread run (the metrics sampler calls this on every tick). *)
+  let n = min max_threads (Sched.n_threads t.sched) in
+  let rec take i acc = if i < 0 then acc else take (i - 1) (t.stats.(i) :: acc) in
+  Htm_stats.merge (take (n - 1) [])
 
 let costs t = Sched.costs t.sched
 let tid t = Sched.current t.sched
@@ -97,9 +123,78 @@ let footprint txn = Hashtbl.length txn.lines
 
 let data_set_lines t = match my_txn t with Some x -> footprint x | None -> 0
 
+(* ---- Conflict-index maintenance ---------------------------------- *)
+
+let set_bit tbl line tid =
+  let bs =
+    match Hashtbl.find_opt tbl line with
+    | Some bs -> bs
+    | None ->
+        let bs = Array.make bitset_words 0 in
+        Hashtbl.add tbl line bs;
+        bs
+  in
+  let w = tid / bits_per_word in
+  bs.(w) <- bs.(w) lor (1 lsl (tid mod bits_per_word))
+
+let clear_bit tbl line tid =
+  match Hashtbl.find_opt tbl line with
+  | None -> ()
+  | Some bs ->
+      let w = tid / bits_per_word in
+      bs.(w) <- bs.(w) land lnot (1 lsl (tid mod bits_per_word));
+      if Array.for_all (fun x -> x = 0) bs then Hashtbl.remove tbl line
+
+(* Visit set bits in ascending tid order. *)
+let iter_bits bs f =
+  for w = 0 to bitset_words - 1 do
+    let x = ref bs.(w) in
+    let tid = ref (w * bits_per_word) in
+    while !x <> 0 do
+      if !x land 1 <> 0 then f !tid;
+      x := !x lsr 1;
+      incr tid
+    done
+  done
+
+(* First touch of [line] by [txn]'s read (resp. write) set: record it in
+   the transaction and in the per-line reverse index. *)
+let note_read t txn line =
+  if not (Hashtbl.mem txn.read_lines line) then begin
+    Hashtbl.replace txn.read_lines line ();
+    set_bit t.line_readers line txn.owner
+  end
+
+let note_write t txn line =
+  if not (Hashtbl.mem txn.write_lines line) then begin
+    Hashtbl.replace txn.write_lines line ();
+    set_bit t.line_writers line txn.owner
+  end
+
+(* Registry of active transactions per lcore, ascending owner tid. *)
+let insert_active t txn =
+  let lc = Sched.lcore_of t.sched txn.owner in
+  let rec ins = function
+    | [] -> [ txn ]
+    | x :: _ as l when x.owner > txn.owner -> txn :: l
+    | x :: rest -> x :: ins rest
+  in
+  t.active.(lc) <- ins t.active.(lc)
+
+(* Drop a discarded transaction from the registry and the conflict index.
+   Called exactly once, when the transaction commits or aborts. *)
+let unindex t txn =
+  let lc = Sched.lcore_of t.sched txn.owner in
+  t.active.(lc) <- List.filter (fun x -> x != txn) t.active.(lc);
+  Hashtbl.iter (fun line () -> clear_bit t.line_readers line txn.owner)
+    txn.read_lines;
+  Hashtbl.iter (fun line () -> clear_bit t.line_writers line txn.owner)
+    txn.write_lines
+
 (* Discard the active transaction and deliver the abort to the caller. *)
 let do_abort t txn reason =
   t.txns.(txn.owner) <- None;
+  unindex t txn;
   Htm_stats.record_abort t.stats.(txn.owner) reason;
   Trace.span_end (trace t) ~time:(Sched.now t.sched) ~tid:txn.owner Trace.Htm
     "txn" (fun () ->
@@ -113,22 +208,26 @@ let check_doomed t txn =
   match txn.doomed with Some r -> do_abort t txn r | None -> ()
 
 (* Requester-wins conflict resolution: doom every *other* active transaction
-   for which [line] is in a conflicting set. *)
+   for which [line] is in a conflicting set.  The per-line reverse index
+   makes this O(transactions on the line); a transaction holding the line
+   in both sets is visited once by each pass but doomed (and tallied) only
+   once, as in the old full scan. *)
 let doom_conflicting t ~me ~line ~against_readers =
-  for other = 0 to max_threads - 1 do
-    if other <> me then
-      match t.txns.(other) with
-      | Some txn when txn.doomed = None ->
-          if
-            Hashtbl.mem txn.write_lines line
-            || (against_readers && Hashtbl.mem txn.read_lines line)
-          then begin
-            txn.doomed <- Some Htm_stats.Conflict;
-            Hashtbl.replace conflict_tally line
-              (1 + Option.value ~default:0 (Hashtbl.find_opt conflict_tally line))
-          end
-      | _ -> ()
-  done
+  let doom_from tbl =
+    match Hashtbl.find_opt tbl line with
+    | None -> ()
+    | Some bs ->
+        iter_bits bs (fun other ->
+            if other <> me then
+              match t.txns.(other) with
+              | Some txn when txn.doomed = None ->
+                  txn.doomed <- Some Htm_stats.Conflict;
+                  Hashtbl.replace t.tally line
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally line))
+              | _ -> ())
+  in
+  doom_from t.line_writers;
+  if against_readers then doom_from t.line_readers
 
 (* Cache-pressure eviction: every memory access can knock a speculative
    line out of the L1 it shares with the accessor — the victim transaction
@@ -140,35 +239,33 @@ let doom_conflicting t ~me ~line ~against_readers =
 let pressure_evict t ~me =
   if t.backend = Stm then ()
   else
-  let total_lines = Cache.lines t.cache in
-  let consider victim_tid denom =
-    match t.txns.(victim_tid) with
-    | Some txn when txn.doomed = None ->
+    let total_lines = Cache.lines t.cache in
+    let consider txn denom =
+      if txn.doomed = None then begin
         let fp = footprint txn in
         if fp > 0 && Rng.int t.evict_rng (total_lines * denom) < fp then begin
           txn.doomed <- Some Htm_stats.Capacity;
-          Trace.instant (trace t) ~time:(Sched.now t.sched) ~tid:victim_tid
+          Trace.instant (trace t) ~time:(Sched.now t.sched) ~tid:txn.owner
             Trace.Cache "evict" (fun () ->
               Printf.sprintf "by=%d footprint=%d" me fp)
         end
-    | _ -> ()
-  in
-  (* Self-interference. *)
-  consider me t.cache.Cache.self_evict_denom;
-  (* Sibling interference: threads whose logical core shares our L1. *)
-  let topo = Sched.topology t.sched in
-  let my_lcore = Sched.lcore_of t.sched me in
-  match Topology.sibling topo my_lcore with
-  | None -> ()
-  | Some sib ->
-      for other = 0 to max_threads - 1 do
-        if other <> me then
-          match t.txns.(other) with
-          | Some txn when txn.doomed = None ->
-              if Sched.lcore_of t.sched txn.owner = sib then
-                consider other t.cache.Cache.sibling_evict_denom
-          | _ -> ()
-      done
+      end
+    in
+    (* Self-interference. *)
+    (match t.txns.(me) with
+    | Some txn -> consider txn t.cache.Cache.self_evict_denom
+    | None -> ());
+    (* Sibling interference: transactions whose logical core shares our L1.
+       The registry list is ascending in owner tid, so the RNG draws happen
+       in the same order as the old full-array sweep. *)
+    let my_lcore = Sched.lcore_of t.sched me in
+    let sib = Topology.sibling_ix (Sched.topology t.sched) my_lcore in
+    if sib >= 0 then
+      List.iter
+        (fun txn ->
+          if txn.owner <> me then
+            consider txn t.cache.Cache.sibling_evict_denom)
+        t.active.(sib)
 
 (* Coherence cost of touching [line]: reads miss on remotely-dirty lines
    (dirty-forward + downgrade); writes miss unless this thread already owns
@@ -251,6 +348,7 @@ let start t =
     }
   in
   t.txns.(me) <- Some txn;
+  insert_active t txn;
   t.stats.(me).starts <- t.stats.(me).starts + 1;
   Trace.span_begin (trace t) ~time:(Sched.now t.sched) ~tid:me Trace.Htm "txn"
     Trace.no_detail;
@@ -261,7 +359,7 @@ let txn_read t txn addr =
   check_doomed t txn;
   let line = Cache.line_of t.cache addr in
   track t txn line;
-  Hashtbl.replace txn.read_lines line ();
+  note_read t txn line;
   (match t.backend with
   | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:false
   | Stm -> stm_note_read t txn line);
@@ -282,7 +380,7 @@ let txn_write t txn addr v =
   check_doomed t txn;
   let line = Cache.line_of t.cache addr in
   track t txn line;
-  Hashtbl.replace txn.write_lines line ();
+  note_write t txn line;
   (match t.backend with
   | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:true
   | Stm -> stm_note_read t txn line);
@@ -332,6 +430,7 @@ let commit t =
         Hashtbl.iter (fun line () -> bump_line_version t line) txn.write_lines
       end;
       t.txns.(me) <- None;
+      unindex t txn;
       t.stats.(me).commits <- t.stats.(me).commits + 1;
       t.stats.(me).data_set_lines <-
         t.stats.(me).data_set_lines + footprint txn;
@@ -379,10 +478,15 @@ let nt_write t addr v =
 let nt_cas t addr ~expect desired =
   match my_txn t with
   | Some txn ->
+      (* A transactional CAS is a memory access like any other: it extends
+         the footprint, so it must run the same cache-pressure roll as
+         [txn_read]/[txn_write] — CAS-heavy segments (MS queue, Treiber
+         stack) undercounted capacity aborts without it. *)
+      pressure_evict t ~me:txn.owner;
       check_doomed t txn;
       let line = Cache.line_of t.cache addr in
       track t txn line;
-      Hashtbl.replace txn.read_lines line ();
+      note_read t txn line;
       let cur =
         match Hashtbl.find_opt txn.writes addr with
         | Some v -> v
@@ -392,12 +496,16 @@ let nt_cas t addr ~expect desired =
       (* Same TTAS discipline transactionally: only a winning CAS adds the
          line to the write set and dooms conflicting readers. *)
       if ok then begin
-        Hashtbl.replace txn.write_lines line ();
+        note_write t txn line;
         doom_conflicting t ~me:txn.owner ~line ~against_readers:true;
         Hashtbl.replace txn.writes addr desired
       end
       else doom_conflicting t ~me:txn.owner ~line ~against_readers:false;
-      Sched.consume t.sched (costs t).cas;
+      (* And it pays coherence like the non-transactional branch: a CAS to
+         a remotely-owned line must not be cheaper than a plain
+         transactional write to it. *)
+      let miss = coherence_cost t ~me:txn.owner ~line ~is_write:ok in
+      Sched.consume t.sched ((costs t).cas + miss);
       ok
   | None ->
       (* Test-and-test-and-set discipline: a CAS that is going to fail
@@ -424,11 +532,14 @@ let nt_cas t addr ~expect desired =
 let nt_fetch_add t addr delta =
   match my_txn t with
   | Some txn ->
+      (* Same consistency fixes as the transactional [nt_cas] branch:
+         cache-pressure roll and coherence cost. *)
+      pressure_evict t ~me:txn.owner;
       check_doomed t txn;
       let line = Cache.line_of t.cache addr in
       track t txn line;
-      Hashtbl.replace txn.read_lines line ();
-      Hashtbl.replace txn.write_lines line ();
+      note_read t txn line;
+      note_write t txn line;
       doom_conflicting t ~me:txn.owner ~line ~against_readers:true;
       let cur =
         match Hashtbl.find_opt txn.writes addr with
@@ -436,7 +547,8 @@ let nt_fetch_add t addr delta =
         | None -> Heap.read t.heap ~tid:txn.owner addr
       in
       Hashtbl.replace txn.writes addr (cur + delta);
-      Sched.consume t.sched (costs t).fetch_add;
+      let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
+      Sched.consume t.sched ((costs t).fetch_add + miss);
       cur
   | None ->
       let me = tid t in

@@ -107,8 +107,11 @@ val alloc : t -> size:int -> St_mem.Word.addr
 
 (** {2 Observation} *)
 
-val conflict_tally : (int, int) Hashtbl.t
-(** Debug: global per-line conflict-doom counts. *)
+val conflict_tally : t -> (int, int) Hashtbl.t
+(** Debug: per-line conflict-doom counts of this manager.  Owned by the
+    manager (not a module-level global), so several managers can coexist in
+    one process — e.g. a parallel sweep runner — without corrupting each
+    other's tallies. *)
 
 val stats : t -> tid:int -> Htm_stats.t
 val total_stats : t -> Htm_stats.t

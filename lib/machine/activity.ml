@@ -1,14 +1,22 @@
 let max_threads = 256
 
-type t = { slots : Ctx.t option array; mutable count : int }
+type t = {
+  slots : Ctx.t option array;
+  mutable count : int;
+  mutable high : int;
+      (* 1 + highest tid ever registered: [iter] scans [0, high) instead of
+         all [max_threads] slots.  Monotone — a deregistered tid may leave a
+         [None] hole below the watermark, which [iter] skips. *)
+}
 
-let create () = { slots = Array.make max_threads None; count = 0 }
+let create () = { slots = Array.make max_threads None; count = 0; high = 0 }
 
 let register t ctx =
   let tid = Ctx.tid ctx in
   if t.slots.(tid) = None then begin
     t.slots.(tid) <- Some ctx;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    if tid >= t.high then t.high <- tid + 1
   end
 
 let deregister t ~tid =
@@ -20,6 +28,8 @@ let deregister t ~tid =
 let get t ~tid = t.slots.(tid)
 
 let iter t f =
-  Array.iter (function Some ctx -> f ctx | None -> ()) t.slots
+  for tid = 0 to t.high - 1 do
+    match t.slots.(tid) with Some ctx -> f ctx | None -> ()
+  done
 
 let count t = t.count

@@ -17,6 +17,7 @@ type state =
 type thread = {
   tid : int;
   lcore : int;
+  sib : int; (* SMT sibling lcore, -1 if none (cached from the topology) *)
   mutable state : state;
   mutable slice_used : int;
   rng : Rng.t;
@@ -33,6 +34,11 @@ type t = {
   mutable threads : thread list; (* reversed during registration *)
   mutable arr : thread array;
   mutable queues : thread Queue.t array; (* per lcore, runnable order *)
+  live_on : int array;
+      (* per lcore: registered threads not yet Finished/Crashed.  Kept
+         exact across every state transition so [sibling_active] — hit on
+         every cycle charge and every HTM footprint extension — is a field
+         read instead of a queue fold. *)
   mutable preempt_hooks : (int -> unit) list;
   mutable context_switches : int;
   mutable cur : thread option;
@@ -54,6 +60,7 @@ let create ?(topology = Topology.create ()) ?(costs = Costs.default)
     threads = [];
     arr = [||];
     queues = Array.init n (fun _ -> Queue.create ());
+    live_on = Array.make n 0;
     preempt_hooks = [];
     context_switches = 0;
     cur = None;
@@ -70,8 +77,16 @@ let add_thread t body =
   let tid = List.length t.threads in
   let lcore = Topology.placement t.topo tid in
   let th =
-    { tid; lcore; state = Not_started body; slice_used = 0; rng = Rng.split t.rng }
+    {
+      tid;
+      lcore;
+      sib = Topology.sibling_ix t.topo lcore;
+      state = Not_started body;
+      slice_used = 0;
+      rng = Rng.split t.rng;
+    }
   in
+  t.live_on.(lcore) <- t.live_on.(lcore) + 1;
   t.threads <- th :: t.threads;
   tid
 
@@ -100,22 +115,24 @@ let now t =
 
 let global_time t = Array.fold_left max 0 t.clocks
 
-let live th = match th.state with Finished | Crashed -> false | _ -> true
+(* Every transition into Finished or Crashed must go through here exactly
+   once, so the per-lcore live counts stay exact. *)
+let mark_dead t th state =
+  (match th.state with
+  | Finished | Crashed -> ()
+  | _ -> t.live_on.(th.lcore) <- t.live_on.(th.lcore) - 1);
+  th.state <- state
 
 let sibling_active t tid =
-  let lc = t.arr.(tid).lcore in
-  match Topology.sibling t.topo lc with
-  | None -> false
-  | Some sib ->
-      Queue.fold (fun acc th -> acc || live th) false t.queues.(sib)
-      ||
-      (* The sibling's thread may currently be the running one. *)
-      (match t.cur with Some th when th.lcore = sib -> live th | _ -> false)
+  let sib = t.arr.(tid).sib in
+  sib >= 0 && t.live_on.(sib) > 0
 
 let crashed t tid = t.arr.(tid).state = Crashed
 let finished t tid = t.arr.(tid).state = Finished
 let context_switches t = t.context_switches
-let n_threads t = Array.length t.arr
+
+let n_threads t =
+  if t.started then Array.length t.arr else List.length t.threads
 
 let crash t tid =
   let th = t.arr.(tid) in
@@ -125,7 +142,7 @@ let crash t tid =
   | Finished | Crashed -> ()
   | Not_started _ ->
       fire_preempt t tid;
-      th.state <- Crashed
+      mark_dead t th Crashed
   | Suspended k ->
       fire_preempt t tid;
       th.state <- Doomed k
@@ -133,13 +150,15 @@ let crash t tid =
   | Running ->
       (* Self-crash: unwind immediately. *)
       fire_preempt t tid;
-      th.state <- Crashed;
+      mark_dead t th Crashed;
       raise Thread_crashed)
 
 let consume t cost =
   let th = cur_thread t in
   let cost =
-    if sibling_active t th.tid then cost * t.ht_penalty_pct / 100 else cost
+    if th.sib >= 0 && t.live_on.(th.sib) > 0 then
+      cost * t.ht_penalty_pct / 100
+    else cost
   in
   t.clocks.(th.lcore) <- t.clocks.(th.lcore) + cost;
   th.slice_used <- th.slice_used + cost;
@@ -191,16 +210,16 @@ let handler t th =
       (fun () ->
         Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid
           Trace.Sched "finish" Trace.no_detail;
-        th.state <- Finished;
+        mark_dead t th Finished;
         remove_from_queue t th);
     exnc =
       (fun e ->
         match e with
         | Thread_crashed ->
-            th.state <- Crashed;
+            mark_dead t th Crashed;
             remove_from_queue t th
         | e ->
-            th.state <- Crashed;
+            mark_dead t th Crashed;
             remove_from_queue t th;
             raise e);
     effc =

@@ -92,9 +92,13 @@ val lcore_of : t -> int -> int
 val sibling_active : t -> int -> bool
 (** [sibling_active t tid] is true when the SMT sibling core of [tid]'s
     logical core currently hosts live (unfinished, uncrashed) threads.  The
-    HTM layer uses this to halve effective L1 associativity. *)
+    HTM layer uses this to halve effective L1 associativity.  O(1): the
+    scheduler maintains an exact per-lcore live-thread count across all
+    state transitions, so this is two array reads — it sits on the
+    cycle-charging path of every simulated memory access. *)
 
 val context_switches : t -> int
 (** Total preemptions performed so far. *)
 
 val n_threads : t -> int
+(** Number of registered threads (valid before and after {!run}). *)

@@ -6,10 +6,18 @@
     spreads CPU-bound threads: one per physical core first, then the second
     hyperthread of each core, then time-multiplexed. *)
 
-type t = private { cores : int; smt : int }
+type t = private {
+  cores : int;
+  smt : int;
+  siblings : int array;  (** lcore -> SMT sibling lcore, [-1] if none. *)
+  place : int array;  (** thread slot (mod lcores) -> lcore. *)
+}
 
 val create : ?cores:int -> ?smt:int -> unit -> t
-(** Defaults: [cores = 4], [smt = 2], matching the paper's machine. *)
+(** Defaults: [cores = 4], [smt = 2], matching the paper's machine.  The
+    sibling and placement maps are precomputed here so the per-access hot
+    paths (scheduler cost accounting, HTM cache-pressure eviction) read
+    arrays instead of recomputing arithmetic and allocating options. *)
 
 val lcores : t -> int
 (** Number of logical cores ([cores * smt]). *)
@@ -17,8 +25,18 @@ val lcores : t -> int
 val sibling : t -> int -> int option
 (** [sibling t lc] is the SMT sibling of logical core [lc], if any. *)
 
+val sibling_ix : t -> int -> int
+(** Allocation-free variant of {!sibling}: the sibling lcore, or [-1] when
+    [lc] has none.  Hot paths use this one. *)
+
 val core_of : t -> int -> int
 (** Physical core of a logical core. *)
+
+val l1_of : t -> int -> int
+(** L1-cache domain of a logical core.  SMT siblings share one L1 (the
+    mechanism behind halved transactional associativity and sibling
+    cache-pressure eviction); on this model the L1 domain coincides with
+    the physical core. *)
 
 val placement : t -> int -> int
 (** [placement t i] is the logical core that the [i]-th thread is pinned to.

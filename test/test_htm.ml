@@ -337,6 +337,146 @@ let test_data_set_lines () =
   Sched.run sched
 
 (* ------------------------------------------------------------------ *)
+(* Modelling regressions: transactional CAS/fetch-add hot-path bugs     *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_cas_pressure_evict () =
+  (* A CAS-only transactional workload must run the same cache-pressure
+     roll as plain transactional reads/writes: with self-eviction made
+     near-certain (denom 1, 8-line cache) a two-line footprint built purely
+     out of CAS operations dies with a capacity abort.  The in-transaction
+     [nt_cas] branch used to skip [pressure_evict] entirely, so CAS-heavy
+     segments (MS queue, Treiber stack) undercounted capacity aborts. *)
+  let cache =
+    Cache.create ~line_shift:3 ~sets:4 ~ways:2 ~reserved_ways:0
+      ~sibling_evict_denom:1_000_000 ~self_evict_denom:1 ()
+  in
+  let sched, _heap, tsx = world ~cache ~cores:1 ~smt:1 () in
+  let base = Word.heap_base in
+  let got = ref None in
+  let _ =
+    Sched.add_thread sched (fun _ ->
+        Tsx.start tsx;
+        try
+          for _ = 1 to 30 do
+            (* Failing CASes: footprint (read set) only, no stores. *)
+            ignore (Tsx.nt_cas tsx base ~expect:(-1) 1);
+            ignore (Tsx.nt_cas tsx (base + 8) ~expect:(-1) 1)
+          done;
+          Tsx.commit tsx
+        with Tsx.Abort r -> got := Some r)
+  in
+  Sched.run sched;
+  checkb "capacity abort on CAS-only txn" true (!got = Some Htm_stats.Capacity);
+  checki "capacity abort counted" 1 (Tsx.stats tsx ~tid:0).capacity_aborts
+
+let test_txn_cas_coherence_cost () =
+  (* A transactional CAS to a line another thread owns dirty pays the
+     coherence miss, exactly like the non-transactional CAS branch (and
+     like a plain transactional write).  It used to be charged bare
+     [cas] cycles, making the transactional CAS cheaper than a plain
+     transactional store to the same remote line. *)
+  let cache =
+    Cache.create ~sibling_evict_denom:1_000_000 ~self_evict_denom:1_000_000 ()
+  in
+  let sched, heap, tsx = world ~cache ~cores:4 ~smt:1 () in
+  let addr = Heap.alloc heap ~tid:0 ~size:1 in
+  let costs = Sched.costs sched in
+  let _ =
+    Sched.add_thread sched (fun _ ->
+        (* Take the line remotely-dirty before the other thread's CAS. *)
+        Tsx.nt_write tsx addr 9)
+  in
+  let _ =
+    Sched.add_thread sched (fun _ ->
+        Sched.consume sched 500;
+        Tsx.start tsx;
+        let t0 = Sched.now sched in
+        checkb "cas wins" true (Tsx.nt_cas tsx addr ~expect:9 5);
+        checki "txn cas charges cas + coherence miss"
+          (costs.St_sim.Costs.cas + costs.St_sim.Costs.coherence_miss)
+          (Sched.now sched - t0);
+        Tsx.commit tsx)
+  in
+  Sched.run sched
+
+let test_two_managers_independent_tallies () =
+  (* Two coexisting managers keep independent conflict tallies: the tally
+     used to be a module-level global that [Tsx.create] reset, so a second
+     manager in the same process (a parallel sweep runner) wiped and then
+     polluted the first one's counts. *)
+  let conflict_on (sched, heap, tsx) =
+    let addr = Heap.alloc heap ~tid:0 ~size:2 in
+    let _ =
+      Sched.add_thread sched (fun _ ->
+          Tsx.start tsx;
+          ignore (Tsx.read tsx addr);
+          Sched.consume sched 1000;
+          try
+            ignore (Tsx.read tsx addr);
+            Tsx.commit tsx
+          with Tsx.Abort _ -> ())
+    in
+    let _ =
+      Sched.add_thread sched (fun _ ->
+          Sched.consume sched 100;
+          Tsx.nt_write tsx addr 9)
+    in
+    Sched.run sched
+  in
+  let ((_, _, tsx1) as w1) = world () in
+  conflict_on w1;
+  let dooms tsx =
+    Hashtbl.fold (fun _ n acc -> acc + n) (Tsx.conflict_tally tsx) 0
+  in
+  checki "first manager tallied the doom" 1 (dooms tsx1);
+  (* Creating a second manager must not reset the first one's tally. *)
+  let ((_, _, tsx2) as w2) = world () in
+  checki "first manager's tally survives a second create" 1 (dooms tsx1);
+  checki "second manager starts clean" 0 (dooms tsx2);
+  conflict_on w2;
+  checki "second manager tallies its own doom" 1 (dooms tsx2);
+  checki "first manager unaffected by second's conflicts" 1 (dooms tsx1)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism golden: fig1-list-shaped run                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1_slice_stats_pinned () =
+  (* A miniature fig1-list data point with the stats pinned to concrete
+     values.  This is the guard for the conflict-index rewrite: the
+     per-line reader/writer bitsets and the per-lcore active-transaction
+     registry must reproduce the RNG draw order of the old O(max_threads)
+     scans exactly, so any refactor of the hot path that perturbs the
+     eviction draw sequence (or the conflict set) moves these numbers and
+     fails here.  Baseline re-goldened once in this PR: the transactional
+     CAS/fetch-add fixes (pressure roll + coherence cost) deliberately
+     changed the abort mix, see DESIGN.md section 4. *)
+  let run () =
+    St_harness.Experiment.run
+      {
+        St_harness.Experiment.default_config with
+        structure = St_harness.Experiment.List_s;
+        scheme = St_harness.Experiment.stacktrack_default;
+        threads = 8;
+        duration = 200_000;
+        key_range = 256;
+        init_size = 128;
+      }
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check string)
+    "byte-identical result json"
+    (St_harness.Result_json.to_string r1)
+    (St_harness.Result_json.to_string r2);
+  let open St_harness.Experiment in
+  checki "total ops" 691 r1.total_ops;
+  checki "makespan" 202111 r1.makespan;
+  checki "commits" 2084 r1.htm.St_htm.Htm_stats.commits;
+  checki "conflict aborts" 428 r1.htm.St_htm.Htm_stats.conflict_aborts;
+  checki "capacity aborts" 58 r1.htm.St_htm.Htm_stats.capacity_aborts
+
+(* ------------------------------------------------------------------ *)
 (* STM backend (TL2-style)                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -520,6 +660,17 @@ let () =
           Alcotest.test_case "spread fits" `Quick test_capacity_ok_across_sets;
           Alcotest.test_case "sibling halves ways" `Quick
             test_sibling_halves_ways;
+        ] );
+      ( "modelling",
+        [
+          Alcotest.test_case "txn cas runs pressure roll" `Quick
+            test_txn_cas_pressure_evict;
+          Alcotest.test_case "txn cas pays coherence" `Quick
+            test_txn_cas_coherence_cost;
+          Alcotest.test_case "independent tallies" `Quick
+            test_two_managers_independent_tallies;
+          Alcotest.test_case "fig1 slice stats pinned" `Quick
+            test_fig1_slice_stats_pinned;
         ] );
       ( "stm",
         [
