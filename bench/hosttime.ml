@@ -10,10 +10,18 @@
 
    Usage:
      dune exec bench/hosttime.exe -- [--threads N] [--duration D] [--seed S]
-                                     [--repeat R] [--scheme NAME] [target ...]
+                                     [--repeat R] [--scheme NAME] [--jobs J]
+                                     [target ...]
 
    Targets (default fig1-list): fig1-list fig1-skiplist fig2-queue fig2-hash
-   fig5-slowpath all. *)
+   fig5-slowpath all — one experiment at [--threads].
+
+   Sweep targets time the *whole figure sweep* (every thread point x every
+   scheme column of the figure, Full thread grid at [--duration]) through
+   the domain pool at [--jobs], so the parallel driver's host wall-clock
+   speedup is measured, not asserted: run the same sweep with --jobs 1 and
+   --jobs N and compare.  Targets: sweep-fig1-list sweep-fig1-skiplist
+   sweep-fig2-queue sweep-fig2-hash sweep-all. *)
 
 open St_harness
 
@@ -22,6 +30,7 @@ let duration = ref 1_500_000
 let seed = ref Experiment.default_config.Experiment.seed
 let repeat = ref 1
 let scheme_arg = ref "stacktrack"
+let jobs = ref 1
 let targets = ref []
 
 let spec =
@@ -36,6 +45,10 @@ let spec =
     ( "--scheme",
       Arg.Set_string scheme_arg,
       "NAME  original|hazards|epoch|stacktrack|dta (default stacktrack)" );
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "J  Domain-pool size for sweep-* targets (default 1 = sequential; 0 = \
+       recommended domain count)" );
   ]
 
 let scheme_of_name = function
@@ -90,7 +103,48 @@ let base_config target =
         }
   | _ -> None
 
-let run_target target =
+(* Every point of a figure's Full sweep: thread grid x scheme columns,
+   enumerated exactly as Figures does, at the configured duration/seed. *)
+let sweep_configs target =
+  let open Experiment in
+  let sweep base schemes =
+    let base = { base with duration = !duration; seed = !seed } in
+    Some
+      (List.concat_map
+         (fun t -> List.map (fun scheme -> { base with scheme; threads = t }) schemes)
+         (Figures.thread_points Figures.Full))
+  in
+  match target with
+  | "sweep-fig1-list" ->
+      sweep (Figures.list_config Figures.Full) (Figures.set_schemes @ [ Dta ])
+  | "sweep-fig1-skiplist" ->
+      sweep (Figures.skiplist_config Figures.Full) Figures.set_schemes
+  | "sweep-fig2-queue" ->
+      sweep (Figures.queue_config Figures.Full) Figures.set_schemes
+  | "sweep-fig2-hash" ->
+      sweep (Figures.hash_config Figures.Full) Figures.set_schemes
+  | _ -> None
+
+let run_sweep target cfgs =
+  let best = ref infinity in
+  for _ = 1 to max 1 !repeat do
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Pool.run ~jobs:!jobs (List.map (fun cfg () -> Experiment.run cfg) cfgs)
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    if ms < !best then best := ms;
+    let ops =
+      List.fold_left (fun acc r -> acc + r.Experiment.total_ops) 0 results
+    in
+    List.iter (fun r -> assert (r.Experiment.violations = 0)) results;
+    Printf.printf
+      "%-20s points=%-3d jobs=%-3d host_ms=%9.1f total_ops=%d\n%!" target
+      (List.length cfgs) !jobs ms ops
+  done;
+  (target, !best)
+
+let run_single target =
   match base_config target with
   | None ->
       Printf.eprintf "hosttime: unknown target %S\n" target;
@@ -111,13 +165,27 @@ let run_target target =
       done;
       (target, !best)
 
+let run_target target =
+  match sweep_configs target with
+  | Some cfgs -> run_sweep target cfgs
+  | None -> run_single target
+
 let () =
   Arg.parse spec (fun t -> targets := t :: !targets) "hosttime [options] targets";
   let all = [ "fig1-list"; "fig1-skiplist"; "fig2-queue"; "fig2-hash" ] in
+  let sweep_all =
+    [
+      "sweep-fig1-list";
+      "sweep-fig1-skiplist";
+      "sweep-fig2-queue";
+      "sweep-fig2-hash";
+    ]
+  in
   let ts =
     match List.rev !targets with
     | [] -> [ "fig1-list" ]
     | l when List.mem "all" l -> all
+    | l when List.mem "sweep-all" l -> sweep_all
     | l -> l
   in
   let results = List.map run_target ts in

@@ -1,10 +1,19 @@
 (* Benchmark entry point.
 
    Usage:  dune exec bench/main.exe -- [target ...] [--quick] [--verbose]
+                                       [--jobs N] [--json-out FILE]
 
    Targets (default: all)
      fig1-list fig1-skiplist fig2-queue fig2-hash fig3-aborts fig4-splits
      fig5-slowpath scan-behavior ablations crash latency memory stm micro all
+
+   --jobs N runs the sweep points of each figure on a pool of N domains
+   (default 1 = sequential; 0 = Domain.recommended_domain_count).  Reports
+   are always emitted from the ordered results after a sweep completes, so
+   the output is byte-identical for every N — CI diffs --jobs 2 against
+   --jobs 1.  --json-out FILE additionally writes every Experiment.result
+   of the result-returning figures (fig1/fig2 sweeps, memory profile) as a
+   deterministic JSON list, the machine-checkable form of that A/B.
 
    Each paper table/figure is regenerated two ways:
    - the harness prints the full series exactly as the paper reports it
@@ -20,17 +29,43 @@ open St_harness
 let targets = ref []
 let quick = ref false
 let verbose = ref false
+let jobs = ref 1
+let json_out = ref None
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [target ...] [--quick|--full] [--verbose] [--jobs N] \
+     [--json-out FILE]";
+  exit 2
 
 let parse_args () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | "--full" -> quick := false
-        | "--verbose" -> verbose := true
-        | t -> targets := t :: !targets)
-    Sys.argv;
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--full" :: rest ->
+        quick := false;
+        go rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        go rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            jobs := n;
+            go rest
+        | _ -> usage ())
+    | [ "--jobs" ] -> usage ()
+    | "--json-out" :: file :: rest ->
+        json_out := Some file;
+        go rest
+    | [ "--json-out" ] -> usage ()
+    | t :: rest ->
+        targets := t :: !targets;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
   if !targets = [] then targets := [ "all" ]
 
 let want t = List.mem t !targets || List.mem "all" !targets
@@ -111,21 +146,37 @@ let () =
   parse_args ();
   let speed = if !quick then Figures.Quick else Figures.Full in
   let verbose = !verbose in
-  if want "fig1-list" then ignore (Figures.fig1_list ~verbose ~speed ());
-  if want "fig1-skiplist" then ignore (Figures.fig1_skiplist ~verbose ~speed ());
-  if want "fig2-queue" then ignore (Figures.fig2_queue ~verbose ~speed ());
-  if want "fig2-hash" then ignore (Figures.fig2_hash ~verbose ~speed ());
-  if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~speed ());
-  if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~speed ());
-  if want "fig5-slowpath" then ignore (Figures.fig5_slowpath ~verbose ~speed ());
-  if want "scan-behavior" then ignore (Figures.scan_behavior ~verbose ~speed ());
+  let jobs = !jobs in
+  (* Results of the figures that return full Experiment.results, in the
+     order the figures ran, for --json-out. *)
+  let collected = ref [] in
+  let collect_rows rows = collected := !collected @ List.concat_map snd rows in
+  if want "fig1-list" then collect_rows (Figures.fig1_list ~verbose ~jobs ~speed ());
+  if want "fig1-skiplist" then
+    collect_rows (Figures.fig1_skiplist ~verbose ~jobs ~speed ());
+  if want "fig2-queue" then collect_rows (Figures.fig2_queue ~verbose ~jobs ~speed ());
+  if want "fig2-hash" then collect_rows (Figures.fig2_hash ~verbose ~jobs ~speed ());
+  if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~jobs ~speed ());
+  if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~jobs ~speed ());
+  if want "fig5-slowpath" then ignore (Figures.fig5_slowpath ~verbose ~jobs ~speed ());
+  if want "scan-behavior" then ignore (Figures.scan_behavior ~verbose ~jobs ~speed ());
   if want "ablations" then begin
-    ignore (Figures.ablation_predictor ~verbose ~speed ());
-    ignore (Figures.ablation_scan ~verbose ~speed ())
+    ignore (Figures.ablation_predictor ~verbose ~jobs ~speed ());
+    ignore (Figures.ablation_scan ~verbose ~jobs ~speed ())
   end;
-  if want "crash" then ignore (Figures.crash_resilience ~verbose ~speed ());
-  if want "latency" then ignore (Figures.latency_profile ~verbose ~speed ());
-  if want "memory" then ignore (Figures.memory_profile ~verbose ~speed ());
-  if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~speed ());
+  if want "crash" then ignore (Figures.crash_resilience ~verbose ~jobs ~speed ());
+  if want "latency" then ignore (Figures.latency_profile ~verbose ~jobs ~speed ());
+  if want "memory" then
+    collected :=
+      !collected
+      @ List.map snd (Figures.memory_profile ~verbose ~jobs ~speed ());
+  if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ());
   if want "micro" then run_micro ();
+  (match !json_out with
+  | Some file ->
+      Json_out.write_file file
+        (Json_out.List (List.map Result_json.encode !collected));
+      (* stderr, so stdout stays byte-identical across output filenames *)
+      Format.eprintf "json: %s (%d results)@." file (List.length !collected)
+  | None -> ());
   Format.printf "@.done.@."

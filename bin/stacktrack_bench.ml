@@ -233,33 +233,48 @@ let figures_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-run detail lines.")
   in
-  let run names quick verbose =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run sweep points on a pool of $(docv) domains (default 1 = \
+             sequential; 0 = the runtime's recommended domain count).  \
+             Output is byte-identical for every $(docv): points are \
+             seed-deterministic and reports consume results in submission \
+             order.")
+  in
+  let run names quick verbose jobs =
+    if jobs < 0 then begin
+      prerr_endline "stacktrack_bench: --jobs must be >= 0";
+      exit 2
+    end;
     let speed = if quick then Figures.Quick else Figures.Full in
     let want t = List.mem t names || List.mem "all" names in
-    if want "fig1-list" then ignore (Figures.fig1_list ~verbose ~speed ());
+    if want "fig1-list" then ignore (Figures.fig1_list ~verbose ~jobs ~speed ());
     if want "fig1-skiplist" then
-      ignore (Figures.fig1_skiplist ~verbose ~speed ());
-    if want "fig2-queue" then ignore (Figures.fig2_queue ~verbose ~speed ());
-    if want "fig2-hash" then ignore (Figures.fig2_hash ~verbose ~speed ());
-    if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~speed ());
-    if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~speed ());
+      ignore (Figures.fig1_skiplist ~verbose ~jobs ~speed ());
+    if want "fig2-queue" then ignore (Figures.fig2_queue ~verbose ~jobs ~speed ());
+    if want "fig2-hash" then ignore (Figures.fig2_hash ~verbose ~jobs ~speed ());
+    if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~jobs ~speed ());
+    if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~jobs ~speed ());
     if want "fig5-slowpath" then
-      ignore (Figures.fig5_slowpath ~verbose ~speed ());
+      ignore (Figures.fig5_slowpath ~verbose ~jobs ~speed ());
     if want "scan-behavior" then
-      ignore (Figures.scan_behavior ~verbose ~speed ());
+      ignore (Figures.scan_behavior ~verbose ~jobs ~speed ());
     if want "ablations" then begin
-      ignore (Figures.ablation_predictor ~verbose ~speed ());
-      ignore (Figures.ablation_scan ~verbose ~speed ());
-      ignore (Figures.ablation_contention ~verbose ~speed ())
+      ignore (Figures.ablation_predictor ~verbose ~jobs ~speed ());
+      ignore (Figures.ablation_scan ~verbose ~jobs ~speed ());
+      ignore (Figures.ablation_contention ~verbose ~jobs ~speed ())
     end;
-    if want "crash" then ignore (Figures.crash_resilience ~verbose ~speed ());
-    if want "latency" then ignore (Figures.latency_profile ~verbose ~speed ());
-    if want "memory" then ignore (Figures.memory_profile ~verbose ~speed ());
-    if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~speed ())
+    if want "crash" then ignore (Figures.crash_resilience ~verbose ~jobs ~speed ());
+    if want "latency" then ignore (Figures.latency_profile ~verbose ~jobs ~speed ());
+    if want "memory" then ignore (Figures.memory_profile ~verbose ~jobs ~speed ());
+    if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ())
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's figures.")
-    Term.(const run $ names $ quick $ verbose)
+    Term.(const run $ names $ quick $ verbose $ jobs)
 
 let main =
   Cmd.group

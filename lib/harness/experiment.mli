@@ -1,0 +1,92 @@
+(** Experiment runner: builds a simulated machine, a data structure, a
+    reclamation scheme, and a set of worker threads; runs the schedule to
+    completion and collects every statistic the paper's figures need.
+
+    A run is a pure function of its configuration: every piece of machine
+    state (scheduler, heap, shadow checker, HTM manager, trace, RNGs) is
+    created inside {!run} and seeded from [cfg.seed], so two runs of the
+    same config produce identical results — including when they execute
+    concurrently in different domains (see {!Pool}). *)
+
+type structure = List_s | Skiplist_s | Queue_s | Hash_s
+
+val structure_name : structure -> string
+
+type scheme_kind =
+  | Original  (** no reclamation *)
+  | Hazards
+  | Epoch
+  | Stacktrack_s of Stacktrack.St_config.t
+  | Dta
+  | Refcount_s
+  | Immediate_unsafe
+
+val stacktrack_default : scheme_kind
+(** [Stacktrack_s St_config.default]. *)
+
+val scheme_name : scheme_kind -> string
+
+type config = {
+  structure : structure;
+  scheme : scheme_kind;
+  threads : int;
+  duration : int;  (** Virtual cycles per thread. *)
+  key_range : int;
+  init_size : int;
+  mutation_pct : int;
+  dist : St_workload.Workload.key_dist;
+  n_buckets : int;  (** Hash table only. *)
+  seed : int;
+  cores : int;
+  smt : int;
+  quantum : int;
+  cache : St_htm.Cache.t;
+  backend : St_htm.Tsx.backend;  (** HTM (default) or the TL2-style STM. *)
+  crash_tids : int list;  (** Threads crashed at ~25% of the run. *)
+  sample_live : int;
+      (** Sampling interval (cycles) for the live-object profile; 0 = off.
+          Subsumed by [metrics_interval] (which also captures live
+          objects); kept as the lightweight single-series knob. *)
+  metrics_interval : int;
+      (** Sampling interval (cycles) for the full {!Metrics} time series
+          (throughput, abort mix, pending frees, scans...); 0 = off. *)
+  trace : St_sim.Trace.t option;
+      (** Event sink wired into the simulated machine; [None] (default)
+          installs a disabled trace, so instrumentation costs nothing.
+          A trace is single-run state: give each run its own. *)
+}
+
+val default_config : config
+
+type result = {
+  cfg : config;
+  total_ops : int;
+  ops_per_thread : int array;
+  makespan : int;  (** Max logical-core clock at completion. *)
+  throughput : float;  (** Operations per million virtual cycles. *)
+  htm : St_htm.Htm_stats.t;
+  reclaim : St_reclaim.Guard.stats;
+  st : Stacktrack.Scheme_stats.t option;  (** StackTrack runs only. *)
+  violations : int;
+  violation_samples : St_mem.Shadow.violation list;
+  allocs : int;
+  frees : int;
+  live_at_end : int;
+  context_switches : int;
+  final_size : int;  (** Structure size after the run (raw count). *)
+  leaked : int;  (** Live heap objects beyond the structure's final needs. *)
+  latency : Latency.t;  (** Per-operation latency distribution (cycles). *)
+  live_samples : (int * int) list;
+      (** (time, live objects) samples when [sample_live] > 0. *)
+  metrics : Metrics.sample list;
+      (** Full counter time series when [metrics_interval] > 0. *)
+  peak_live : int;
+}
+
+val throughput_of : ops:int -> makespan:int -> float
+(** Operations per million virtual cycles ([0.] when [makespan = 0]). *)
+
+val run : config -> result
+(** Run one experiment to completion.  Deterministic in [cfg]; touches no
+    state outside the values it creates, so concurrent calls from
+    different domains are independent. *)

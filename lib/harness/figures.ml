@@ -6,7 +6,19 @@
     -> 4K keys) to keep each data point to seconds of wall clock.  The
     *relative* behaviour the figures demonstrate — scheme ordering, the
     HyperThreading knee at 4 threads, the preemption cliff at 8 — is
-    preserved; see EXPERIMENTS.md for paper-vs-measured deltas. *)
+    preserved; see EXPERIMENTS.md for paper-vs-measured deltas.
+
+    Driver structure: every figure is split into three phases so that the
+    middle one can run on a {!Pool} of domains —
+    (1) *enumerate* a pure list of configurations (submission order is the
+        report order);
+    (2) *run* them through [run_many ~jobs] (each point is a deterministic
+        function of its seeded config; no state is shared between points);
+    (3) *report*: verbose per-run lines, violation asserts, tables and CSV
+        all consume the ordered result list after every point has finished.
+    With [jobs = 1] (the default) phase 2 runs in the calling domain, and
+    because phase 3 is order-preserving the printed artifacts are
+    byte-identical for any [jobs]. *)
 
 open Experiment
 
@@ -59,22 +71,46 @@ let hash_config speed =
     duration = duration speed;
   }
 
-let run_silent cfg = Experiment.run cfg
+(* Phase 2 of every figure: run the enumerated configs, in parallel when
+   [jobs > 1], collecting results in submission order. *)
+let run_many ?(jobs = 1) cfgs =
+  Pool.run ~jobs (List.map (fun cfg () -> Experiment.run cfg) cfgs)
+
+(* Split an ordered result list back into consecutive per-row groups of
+   [k] (the inverse of the concat_map that enumerated them). *)
+let chunks k xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> invalid_arg "Figures.chunks: list length not a multiple of k"
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+        let row, rest = take k [] xs in
+        go (row :: acc) rest
+  in
+  go [] xs
 
 (* Throughput sweep over threads x schemes. *)
-let throughput_sweep ?(verbose = false) ~speed ~base ~schemes () =
+let throughput_sweep ?(verbose = false) ?(jobs = 1) ~speed ~base ~schemes () =
   let threads = thread_points speed in
-  List.map
-    (fun t ->
-      ( t,
-        List.map
-          (fun scheme ->
-            let r = run_silent { base with scheme; threads = t } in
-            if verbose then Report.run_line r;
-            assert (r.violations = 0);
-            r)
-          schemes ))
-    threads
+  let cfgs =
+    List.concat_map
+      (fun t -> List.map (fun scheme -> { base with scheme; threads = t }) schemes)
+      threads
+  in
+  let results = run_many ~jobs cfgs in
+  let rows = List.combine threads (chunks (List.length schemes) results) in
+  List.iter
+    (fun (_, rs) ->
+      List.iter
+        (fun r ->
+          if verbose then Report.run_line r;
+          assert (r.violations = 0))
+        rs)
+    rows;
+  rows
 
 let print_throughput ~title ~subtitle ~schemes rows =
   Report.header ~title ~subtitle;
@@ -92,18 +128,20 @@ let set_schemes = [ Original; Hazards; Epoch; stacktrack_default ]
 (* Figure 1: list and skip-list throughput                             *)
 (* ------------------------------------------------------------------ *)
 
-let fig1_list ?verbose ~speed () =
+let fig1_list ?verbose ?jobs ~speed () =
   let schemes = set_schemes @ [ Dta ] in
-  let rows = throughput_sweep ?verbose ~speed ~base:(list_config speed) ~schemes () in
+  let rows =
+    throughput_sweep ?verbose ?jobs ~speed ~base:(list_config speed) ~schemes ()
+  in
   print_throughput
     ~title:"Figure 1a -- List: throughput vs threads"
     ~subtitle:"1K keys (scaled from 5K), 20% mutations; ops per Mcycle"
     ~schemes rows;
   rows
 
-let fig1_skiplist ?verbose ~speed () =
+let fig1_skiplist ?verbose ?jobs ~speed () =
   let rows =
-    throughput_sweep ?verbose ~speed ~base:(skiplist_config speed)
+    throughput_sweep ?verbose ?jobs ~speed ~base:(skiplist_config speed)
       ~schemes:set_schemes ()
   in
   print_throughput
@@ -116,9 +154,9 @@ let fig1_skiplist ?verbose ~speed () =
 (* Figure 2: queue and hash-table throughput                           *)
 (* ------------------------------------------------------------------ *)
 
-let fig2_queue ?verbose ~speed () =
+let fig2_queue ?verbose ?jobs ~speed () =
   let rows =
-    throughput_sweep ?verbose ~speed ~base:(queue_config speed)
+    throughput_sweep ?verbose ?jobs ~speed ~base:(queue_config speed)
       ~schemes:set_schemes ()
   in
   print_throughput
@@ -127,9 +165,9 @@ let fig2_queue ?verbose ~speed () =
     ~schemes:set_schemes rows;
   rows
 
-let fig2_hash ?verbose ~speed () =
+let fig2_hash ?verbose ?jobs ~speed () =
   let rows =
-    throughput_sweep ?verbose ~speed ~base:(hash_config speed)
+    throughput_sweep ?verbose ?jobs ~speed ~base:(hash_config speed)
       ~schemes:set_schemes ()
   in
   print_throughput
@@ -142,14 +180,19 @@ let fig2_hash ?verbose ~speed () =
 (* Figure 3: HTM contention and capacity aborts (list, StackTrack)     *)
 (* ------------------------------------------------------------------ *)
 
-let fig3_aborts ?(verbose = false) ~speed () =
+let fig3_aborts ?(verbose = false) ?(jobs = 1) ~speed () =
   let base = list_config speed in
   let base = { base with duration = base.duration * 3 } in
   let threads = thread_points speed in
+  let results =
+    run_many ~jobs
+      (List.map
+         (fun t -> { base with scheme = stacktrack_default; threads = t })
+         threads)
+  in
   let rows =
-    List.map
-      (fun t ->
-        let r = run_silent { base with scheme = stacktrack_default; threads = t } in
+    List.map2
+      (fun t r ->
         if verbose then Report.run_line r;
         let segs = float_of_int (max 1 r.htm.St_htm.Htm_stats.starts) in
         ( t,
@@ -159,7 +202,7 @@ let fig3_aborts ?(verbose = false) ~speed () =
             float_of_int r.htm.St_htm.Htm_stats.conflict_aborts /. segs *. 1000.;
             float_of_int r.htm.St_htm.Htm_stats.capacity_aborts /. segs *. 1000.;
           ] ))
-      threads
+      threads results
   in
   Report.header
     ~title:"Figure 3 -- List: HTM contention and capacity aborts (StackTrack)"
@@ -177,17 +220,22 @@ let fig3_aborts ?(verbose = false) ~speed () =
 (* Figure 4: average splits per operation and split lengths (list)     *)
 (* ------------------------------------------------------------------ *)
 
-let fig4_splits ?(verbose = false) ~speed () =
+let fig4_splits ?(verbose = false) ?(jobs = 1) ~speed () =
   (* Longer runs: the +-1-per-5-consecutive predictor (§5.3) converges
      slowly ("able to achieve a good performance after 2 seconds"), so the
      length trend needs volume. *)
   let base = list_config speed in
   let base = { base with duration = base.duration * 3 } in
   let threads = thread_points speed in
+  let results =
+    run_many ~jobs
+      (List.map
+         (fun t -> { base with scheme = stacktrack_default; threads = t })
+         threads)
+  in
   let rows =
-    List.map
-      (fun t ->
-        let r = run_silent { base with scheme = stacktrack_default; threads = t } in
+    List.map2
+      (fun t r ->
         if verbose then Report.run_line r;
         match r.st with
         | None -> (t, [ Float.nan; Float.nan ])
@@ -197,7 +245,7 @@ let fig4_splits ?(verbose = false) ~speed () =
                 Stacktrack.Scheme_stats.avg_splits_per_op st;
                 Stacktrack.Scheme_stats.avg_segment_length st;
               ] ))
-      threads
+      threads results
   in
   Report.header
     ~title:"Figure 4 -- List: HTM splits per operation and split lengths"
@@ -212,30 +260,38 @@ let fig4_splits ?(verbose = false) ~speed () =
 (* Figure 5: slow-path fallback impact (skip list)                     *)
 (* ------------------------------------------------------------------ *)
 
-let fig5_slowpath ?(verbose = false) ~speed () =
+let fig5_slowpath ?(verbose = false) ?(jobs = 1) ~speed () =
   let base = skiplist_config speed in
   let threads =
     match speed with Quick -> [ 1; 2; 4; 8; 12 ] | Full -> [ 1; 2; 4; 6; 8; 10; 12; 14 ]
   in
   let pcts = [ 0; 10; 50; 100 ] in
-  let rows =
-    List.map
+  let cfgs =
+    List.concat_map
       (fun t ->
-        let thr pct =
-          let cfg =
-            Stacktrack_s { Stacktrack.St_config.default with forced_slow_pct = pct }
-          in
-          let r = run_silent { base with scheme = cfg; threads = t } in
-          if verbose then Report.run_line r;
-          r.throughput
-        in
-        let base_thr = thr 0 in
+        List.map
+          (fun pct ->
+            let scheme =
+              Stacktrack_s
+                { Stacktrack.St_config.default with forced_slow_pct = pct }
+            in
+            { base with scheme; threads = t })
+          pcts)
+      threads
+  in
+  let per_thread = chunks (List.length pcts) (run_many ~jobs cfgs) in
+  let rows =
+    List.map2
+      (fun t rs ->
+        if verbose then List.iter Report.run_line rs;
+        let base_thr = (List.hd rs).throughput in
         ( t,
           base_thr
           :: List.map
-               (fun pct -> if base_thr = 0. then 0. else thr pct /. base_thr *. 100.)
-               (List.tl pcts) ))
-      threads
+               (fun (r : Experiment.result) ->
+                 if base_thr = 0. then 0. else r.throughput /. base_thr *. 100.)
+               (List.tl rs) ))
+      threads per_thread
   in
   Report.header
     ~title:"Figure 5 -- Skip list: slow-path fallback impact"
@@ -253,27 +309,35 @@ let fig5_slowpath ?(verbose = false) ~speed () =
 (* §6 "Scan behavior": scans, stack depth, amortization                *)
 (* ------------------------------------------------------------------ *)
 
-let scan_behavior ?(verbose = false) ~speed () =
+let scan_behavior ?(verbose = false) ?(jobs = 1) ~speed () =
   let base = skiplist_config speed in
   let threads =
     match speed with Quick -> [ 1; 2; 4; 8; 16 ] | Full -> thread_points speed
   in
-  let rows =
-    List.map
+  let cfgs =
+    List.concat_map
       (fun t ->
-        let run max_free =
-          let cfg =
-            Stacktrack_s { Stacktrack.St_config.default with max_free }
-          in
-          run_silent { base with scheme = cfg; threads = t }
+        List.map
+          (fun max_free ->
+            let scheme =
+              Stacktrack_s { Stacktrack.St_config.default with max_free }
+            in
+            { base with scheme; threads = t })
+          [ 1; 32 ])
+      threads
+  in
+  let per_thread = chunks 2 (run_many ~jobs cfgs) in
+  let rows =
+    List.map2
+      (fun t rs ->
+        let r1, r10 =
+          match rs with [ a; b ] -> (a, b) | _ -> assert false
         in
-        let r1 = run 1 in
-        let r10 = run 32 in
         if verbose then begin
           Report.run_line r1;
           Report.run_line r10
         end;
-        let stat r =
+        let stat (r : Experiment.result) =
           match r.st with
           | None -> (Float.nan, Float.nan, Float.nan)
           | Some st ->
@@ -299,7 +363,7 @@ let scan_behavior ?(verbose = false) ~speed () =
             thr10;
             (if thr10 = 0. then 0. else (thr10 -. thr1) /. thr10 *. 100.);
           ] ))
-      threads
+      threads per_thread
   in
   Report.header
     ~title:"Scan behavior (sec. 6) -- skip list"
@@ -320,7 +384,7 @@ let scan_behavior ?(verbose = false) ~speed () =
    epoch reclaimer's grace-period waits appear as multi-quantum p99 spikes,
    hazard pointers inflate the median (a fence per node), StackTrack's
    aborted-and-replayed segments widen the p95. *)
-let latency_profile ?(verbose = false) ~speed () =
+let latency_profile ?(verbose = false) ?(jobs = 1) ~speed () =
   let base = { (list_config speed) with mutation_pct = 40 } in
   let schemes = [ Original; Hazards; Epoch; stacktrack_default; Dta ] in
   Report.header
@@ -328,10 +392,13 @@ let latency_profile ?(verbose = false) ~speed () =
     ~subtitle:"cycles per operation; epoch pays its grace waits in the tail";
   Format.printf "%-12s %10s %10s %10s %10s %12s@." "scheme" "mean" "p50" "p95"
     "p99" "max";
+  let results =
+    run_many ~jobs
+      (List.map (fun scheme -> { base with scheme; threads = 12 }) schemes)
+  in
   let rows =
-    List.map
-      (fun scheme ->
-        let r = run_silent { base with scheme; threads = 12 } in
+    List.map2
+      (fun scheme (r : Experiment.result) ->
         if verbose then Report.run_line r;
         let l = r.latency in
         Format.printf "%-12s %10.0f %10d %10d %10d %12d@." (scheme_name scheme)
@@ -339,7 +406,7 @@ let latency_profile ?(verbose = false) ~speed () =
           (Latency.percentile l 95.) (Latency.percentile l 99.)
           (Latency.max_value l);
         (scheme, l))
-      schemes
+      schemes results
   in
   rows
 
@@ -351,27 +418,35 @@ let latency_profile ?(verbose = false) ~speed () =
    transactional memory, hardware support is essential for performance."
    Same scheme, same workload, TL2-style STM backend: correctness carries
    over (zero violations), throughput does not. *)
-let stm_vs_htm ?(verbose = false) ~speed () =
+let stm_vs_htm ?(verbose = false) ?(jobs = 1) ~speed () =
   let base = list_config speed in
   let threads = match speed with Quick -> [ 1; 4; 8 ] | Full -> [ 1; 2; 4; 8; 12; 16 ] in
   Report.header
     ~title:"Extension -- StackTrack over HTM vs STM (list)"
     ~subtitle:"TL2-style software transactions: safe but slow (paper sec 7)";
-  let rows =
-    List.map
+  let cfgs =
+    List.concat_map
       (fun t ->
-        let run backend =
-          let r =
-            run_silent
-              { base with scheme = stacktrack_default; threads = t; backend }
-          in
+        List.map
+          (fun backend ->
+            { base with scheme = stacktrack_default; threads = t; backend })
+          [ St_htm.Tsx.Htm; St_htm.Tsx.Stm ])
+      threads
+  in
+  let per_thread = chunks 2 (run_many ~jobs cfgs) in
+  let rows =
+    List.map2
+      (fun t rs ->
+        let thr (r : Experiment.result) =
           if verbose then Report.run_line r;
           assert (r.violations = 0);
           r.throughput
         in
-        let htm = run St_htm.Tsx.Htm and stm = run St_htm.Tsx.Stm in
+        let htm, stm =
+          match rs with [ a; b ] -> (thr a, thr b) | _ -> assert false
+        in
         (t, [ htm; stm; (if htm = 0. then 0. else stm /. htm *. 100.) ]))
-      threads
+      threads per_thread
   in
   Report.series ~x_label:"threads" ~columns:[ "HTM"; "STM"; "STM %" ] rows;
   rows
@@ -385,7 +460,7 @@ let stm_vs_htm ?(verbose = false) ~speed () =
    schemes (sec 1).  Thread 0 crashes at 25% of the run; live objects are
    sampled over time: epoch's curve climbs from the crash onward while the
    non-blocking schemes stay flat. *)
-let memory_profile ?(verbose = false) ~speed () =
+let memory_profile ?(verbose = false) ?(jobs = 1) ~speed () =
   let base =
     let d = duration speed * 3 in
     {
@@ -400,14 +475,16 @@ let memory_profile ?(verbose = false) ~speed () =
     }
   in
   let schemes = [ Epoch; Hazards; stacktrack_default ] in
+  let results =
+    run_many ~jobs (List.map (fun scheme -> { base with scheme }) schemes)
+  in
   let per_scheme =
-    List.map
-      (fun scheme ->
-        let r = run_silent { base with scheme } in
+    List.map2
+      (fun scheme (r : Experiment.result) ->
         if verbose then Report.run_line r;
         assert (r.violations = 0);
         (scheme, r))
-      schemes
+      schemes results
   in
   Report.header
     ~title:"Extension -- live objects over time (list, thread 0 crashes at 25%)"
@@ -447,7 +524,7 @@ let memory_profile ?(verbose = false) ~speed () =
 (* Ablations beyond the paper's figures                                *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_predictor ?(verbose = false) ~speed () =
+let ablation_predictor ?(verbose = false) ?(jobs = 1) ~speed () =
   let base = list_config speed in
   let threads = [ 4; 8; 16 ] in
   let variants =
@@ -471,19 +548,25 @@ let ablation_predictor ?(verbose = false) ~speed () =
         } );
     ]
   in
-  let rows =
-    List.map
+  let cfgs =
+    List.concat_map
       (fun t ->
+        List.map
+          (fun (_, cfg) -> { base with scheme = Stacktrack_s cfg; threads = t })
+          variants)
+      threads
+  in
+  let per_thread = chunks (List.length variants) (run_many ~jobs cfgs) in
+  let rows =
+    List.map2
+      (fun t rs ->
         ( t,
           List.map
-            (fun (_, cfg) ->
-              let r =
-                run_silent { base with scheme = Stacktrack_s cfg; threads = t }
-              in
+            (fun (r : Experiment.result) ->
               if verbose then Report.run_line r;
               r.throughput)
-            variants ))
-      threads
+            rs ))
+      threads per_thread
   in
   Report.header
     ~title:"Ablation -- split-length predictor"
@@ -491,7 +574,7 @@ let ablation_predictor ?(verbose = false) ~speed () =
   Report.series ~x_label:"threads" ~columns:(List.map fst variants) rows;
   rows
 
-let ablation_contention ?(verbose = false) ~speed:_ () =
+let ablation_contention ?(verbose = false) ?(jobs = 1) ~speed:_ () =
   (* Contended queue: effect of committing at CAS linearization points and
      of conflict backoff (both on by default; see St_config). *)
   let base =
@@ -521,16 +604,19 @@ let ablation_contention ?(verbose = false) ~speed:_ () =
   Report.header
     ~title:"Ablation -- contention countermeasures (queue, 8 threads, 100% enq/deq)"
     ~subtitle:"CAS-point commits and conflict backoff vs doom-replay storms";
+  let results =
+    run_many ~jobs
+      (List.map (fun (_, cfg) -> { base with scheme = Stacktrack_s cfg }) variants)
+  in
   let rows =
-    List.map
-      (fun (name, cfg) ->
-        let r = run_silent { base with scheme = Stacktrack_s cfg } in
+    List.map2
+      (fun (name, _) (r : Experiment.result) ->
         if verbose then Report.run_line r;
         (name, r))
-      variants
+      variants results
   in
   List.iter
-    (fun (name, r) ->
+    (fun (name, (r : Experiment.result)) ->
       Report.note "%-14s thr=%-9.1f conflicts=%-7d replays=%d" name
         r.throughput r.htm.St_htm.Htm_stats.conflict_aborts
         (match r.st with
@@ -539,7 +625,7 @@ let ablation_contention ?(verbose = false) ~speed:_ () =
     rows;
   rows
 
-let ablation_scan ?(verbose = false) ~speed () =
+let ablation_scan ?(verbose = false) ?(jobs = 1) ~speed () =
   let base = list_config speed in
   let threads = [ 4; 8; 16 ] in
   let variants =
@@ -550,19 +636,25 @@ let ablation_scan ?(verbose = false) ~speed () =
         { Stacktrack.St_config.default with expose_on_final = true } );
     ]
   in
-  let rows =
-    List.map
+  let cfgs =
+    List.concat_map
       (fun t ->
+        List.map
+          (fun (_, cfg) -> { base with scheme = Stacktrack_s cfg; threads = t })
+          variants)
+      threads
+  in
+  let per_thread = chunks (List.length variants) (run_many ~jobs cfgs) in
+  let rows =
+    List.map2
+      (fun t rs ->
         ( t,
           List.map
-            (fun (_, cfg) ->
-              let r =
-                run_silent { base with scheme = Stacktrack_s cfg; threads = t }
-              in
+            (fun (r : Experiment.result) ->
               if verbose then Report.run_line r;
               r.throughput)
-            variants ))
-      threads
+            rs ))
+      threads per_thread
   in
   Report.header
     ~title:"Ablation -- scan variant and final expose"
@@ -572,7 +664,7 @@ let ablation_scan ?(verbose = false) ~speed () =
   Report.series ~x_label:"threads" ~columns:(List.map fst variants) rows;
   rows
 
-let crash_resilience ?(verbose = false) ~speed:_ () =
+let crash_resilience ?(verbose = false) ?(jobs = 1) ~speed:_ () =
   (* Epoch stalls after a crash (unbounded leak); StackTrack and hazard
      pointers keep reclaiming — the paper's §1/§6 robustness claim. *)
   Report.header
@@ -587,13 +679,16 @@ let crash_resilience ?(verbose = false) ~speed:_ () =
       crash_tids = [ 0 ];
     }
   in
+  let schemes = [ Epoch; Hazards; stacktrack_default ] in
+  let results =
+    run_many ~jobs (List.map (fun scheme -> { base with scheme }) schemes)
+  in
   let rows =
-    List.map
-      (fun scheme ->
-        let r = run_silent { base with scheme } in
+    List.map2
+      (fun scheme (r : Experiment.result) ->
         if verbose then Report.run_line r;
         (scheme_name scheme, r.frees, r.live_at_end, r.violations))
-      [ Epoch; Hazards; stacktrack_default ]
+      schemes results
   in
   List.iter
     (fun (name, frees, live, viol) ->

@@ -1,0 +1,93 @@
+(** One entry point per table/figure of the paper's evaluation (§6).
+
+    Every figure runs in three phases: enumerate a pure list of
+    configurations, execute them (concurrently when [jobs > 1], on a
+    {!Pool} of domains), then report from the ordered results — so the
+    printed tables/CSV and any JSON export are byte-identical for every
+    [jobs] value.  [jobs] defaults to [1] (in-domain, no parallelism);
+    [0] means [Domain.recommended_domain_count ()]. *)
+
+type speed = Quick | Full
+
+val thread_points : speed -> int list
+(** X axis of the thread sweeps (7 points quick, 1..16 full). *)
+
+val duration : speed -> int
+(** Virtual cycles per thread (400K quick, 1.5M full). *)
+
+(** Base configurations of the four workload families, scaled as described
+    in EXPERIMENTS.md.  Exposed for external drivers (hosttime sweeps). *)
+
+val list_config : speed -> Experiment.config
+val skiplist_config : speed -> Experiment.config
+val queue_config : speed -> Experiment.config
+val hash_config : speed -> Experiment.config
+
+val set_schemes : Experiment.scheme_kind list
+(** Original, Hazards, Epoch, StackTrack — the scheme columns shared by the
+    set-structure figures. *)
+
+val throughput_sweep :
+  ?verbose:bool ->
+  ?jobs:int ->
+  speed:speed ->
+  base:Experiment.config ->
+  schemes:Experiment.scheme_kind list ->
+  unit ->
+  (int * Experiment.result list) list
+(** Threads x schemes sweep; rows keyed by thread count, results in scheme
+    order.  Asserts zero shadow-checker violations per point. *)
+
+val fig1_list :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (int * Experiment.result list) list
+
+val fig1_skiplist :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (int * Experiment.result list) list
+
+val fig2_queue :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (int * Experiment.result list) list
+
+val fig2_hash :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (int * Experiment.result list) list
+
+val fig3_aborts :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+
+val fig4_splits :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+
+val fig5_slowpath :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+
+val scan_behavior :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+
+val latency_profile :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (Experiment.scheme_kind * Latency.t) list
+
+val stm_vs_htm :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+
+val memory_profile :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (Experiment.scheme_kind * Experiment.result) list
+
+val ablation_predictor :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+
+val ablation_contention :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (string * Experiment.result) list
+
+val ablation_scan :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+
+val crash_resilience :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (string * int * int * int) list
+(** (scheme, frees, live-at-end, violations) per scheme. *)

@@ -1,0 +1,25 @@
+(** Table/series rendering for benchmark output.
+
+    Each figure prints as an aligned text table (rows = x-axis, columns =
+    series) plus an optional CSV block, so results can be eyeballed in a
+    terminal and also post-processed.  All output goes through
+    [Format.printf]; callers running experiments on a {!Pool} must only
+    report from the main domain, after the runs (which the Figures drivers
+    do by construction). *)
+
+val header : title:string -> subtitle:string -> unit
+
+val series :
+  x_label:string -> columns:string list -> (int * float list) list -> unit
+(** Each row is (x, values); values print with 1 decimal, NaN as ["-"]. *)
+
+val csv :
+  name:string -> x_label:string -> columns:string list ->
+  (int * float list) list -> unit
+(** CSV block tagged [csv:name]; NaN prints as an empty cell. *)
+
+val note : ('a, Format.formatter, unit) format -> 'a
+(** Indented free-form line under a table. *)
+
+val run_line : Experiment.result -> unit
+(** One-line summary of a run, for verbose mode and debugging. *)

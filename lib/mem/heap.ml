@@ -83,18 +83,23 @@ let chunk_size t size =
 let alloc t ~tid:_ ~size =
   assert (size >= 1);
   let size = chunk_size t size in
-  match Hashtbl.find_opt t.free_lists size with
-  | Some ({ contents = base :: rest } as cell) ->
-      cell := rest;
-      claim t base size;
-      base
-  | Some { contents = [] } | None ->
-      let a = effective_align t in
-      let base = (t.brk + a - 1) / a * a in
-      ensure_capacity t (base + size + 1);
-      t.brk <- base + size;
-      claim t base size;
-      base
+  let base =
+    match Hashtbl.find_opt t.free_lists size with
+    | Some ({ contents = base :: rest } as cell) ->
+        (* A drained cell stays in the table (empty, not removed): the next
+           free of this size class refills it in place, so a hot size class
+           allocates its list cell exactly once. *)
+        cell := rest;
+        base
+    | Some { contents = [] } | None ->
+        let a = effective_align t in
+        let base = (t.brk + a - 1) / a * a in
+        ensure_capacity t (base + size + 1);
+        t.brk <- base + size;
+        base
+  in
+  claim t base size;
+  base
 
 let is_allocated t addr = in_heap t addr && t.owner.(addr) = addr
 

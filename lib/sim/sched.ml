@@ -32,6 +32,9 @@ type t = {
   trace : Trace.t;
   mutable clocks : int array; (* per lcore *)
   mutable threads : thread list; (* reversed during registration *)
+  mutable n_registered : int;
+      (* length of [threads]; kept explicitly so tid assignment in
+         [add_thread] is O(1) instead of an O(n) List.length per add *)
   mutable arr : thread array;
   mutable queues : thread Queue.t array; (* per lcore, runnable order *)
   live_on : int array;
@@ -58,6 +61,7 @@ let create ?(topology = Topology.create ()) ?(costs = Costs.default)
     trace;
     clocks = Array.make n 0;
     threads = [];
+    n_registered = 0;
     arr = [||];
     queues = Array.init n (fun _ -> Queue.create ());
     live_on = Array.make n 0;
@@ -74,7 +78,7 @@ let trace t = t.trace
 
 let add_thread t body =
   assert (not t.started);
-  let tid = List.length t.threads in
+  let tid = t.n_registered in
   let lcore = Topology.placement t.topo tid in
   let th =
     {
@@ -88,6 +92,7 @@ let add_thread t body =
   in
   t.live_on.(lcore) <- t.live_on.(lcore) + 1;
   t.threads <- th :: t.threads;
+  t.n_registered <- tid + 1;
   tid
 
 let thread_rng t tid = t.arr.(tid).rng
@@ -131,8 +136,7 @@ let crashed t tid = t.arr.(tid).state = Crashed
 let finished t tid = t.arr.(tid).state = Finished
 let context_switches t = t.context_switches
 
-let n_threads t =
-  if t.started then Array.length t.arr else List.length t.threads
+let n_threads t = t.n_registered
 
 let crash t tid =
   let th = t.arr.(tid) in
