@@ -2,6 +2,7 @@
 
    Usage:  dune exec bench/main.exe -- [target ...] [--quick] [--verbose]
                                        [--jobs N] [--json-out FILE]
+                                       [--profile] [--flame-out FILE]
 
    Targets (default: all)
      fig1-list fig1-skiplist fig2-queue fig2-hash fig3-aborts fig4-splits
@@ -31,11 +32,13 @@ let quick = ref false
 let verbose = ref false
 let jobs = ref 1
 let json_out = ref None
+let profile = ref false
+let flame_out = ref None
 
 let usage () =
   prerr_endline
     "usage: main.exe [target ...] [--quick|--full] [--verbose] [--jobs N] \
-     [--json-out FILE]";
+     [--json-out FILE] [--profile] [--flame-out FILE]";
   exit 2
 
 let parse_args () =
@@ -61,6 +64,13 @@ let parse_args () =
         json_out := Some file;
         go rest
     | [ "--json-out" ] -> usage ()
+    | "--profile" :: rest ->
+        profile := true;
+        go rest
+    | "--flame-out" :: file :: rest ->
+        flame_out := Some file;
+        go rest
+    | [ "--flame-out" ] -> usage ()
     | t :: rest ->
         targets := t :: !targets;
         go rest
@@ -147,15 +157,16 @@ let () =
   let speed = if !quick then Figures.Quick else Figures.Full in
   let verbose = !verbose in
   let jobs = !jobs in
+  let profile = !profile || !flame_out <> None in
   (* Results of the figures that return full Experiment.results, in the
      order the figures ran, for --json-out. *)
   let collected = ref [] in
   let collect_rows rows = collected := !collected @ List.concat_map snd rows in
-  if want "fig1-list" then collect_rows (Figures.fig1_list ~verbose ~jobs ~speed ());
+  if want "fig1-list" then collect_rows (Figures.fig1_list ~verbose ~jobs ~profile ~speed ());
   if want "fig1-skiplist" then
-    collect_rows (Figures.fig1_skiplist ~verbose ~jobs ~speed ());
-  if want "fig2-queue" then collect_rows (Figures.fig2_queue ~verbose ~jobs ~speed ());
-  if want "fig2-hash" then collect_rows (Figures.fig2_hash ~verbose ~jobs ~speed ());
+    collect_rows (Figures.fig1_skiplist ~verbose ~jobs ~profile ~speed ());
+  if want "fig2-queue" then collect_rows (Figures.fig2_queue ~verbose ~jobs ~profile ~speed ());
+  if want "fig2-hash" then collect_rows (Figures.fig2_hash ~verbose ~jobs ~profile ~speed ());
   if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~jobs ~speed ());
   if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~jobs ~speed ());
   if want "fig5-slowpath" then ignore (Figures.fig5_slowpath ~verbose ~jobs ~speed ());
@@ -169,7 +180,7 @@ let () =
   if want "memory" then
     collected :=
       !collected
-      @ List.map snd (Figures.memory_profile ~verbose ~jobs ~speed ());
+      @ List.map snd (Figures.memory_profile ~verbose ~jobs ~profile ~speed ());
   if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ());
   if want "micro" then run_micro ();
   (match !json_out with
@@ -178,5 +189,10 @@ let () =
         (Json_out.List (List.map Result_json.encode !collected));
       (* stderr, so stdout stays byte-identical across output filenames *)
       Format.eprintf "json: %s (%d results)@." file (List.length !collected)
+  | None -> ());
+  (match !flame_out with
+  | Some file ->
+      Result_json.write_flame_file file !collected;
+      Format.eprintf "flame: %s (%d results)@." file (List.length !collected)
   | None -> ());
   Format.printf "@.done.@."

@@ -57,7 +57,40 @@ let print_result (r : Experiment.result) =
   printf "  violations          %d@." r.Experiment.violations;
   List.iter
     (fun v -> printf "    %a@." St_mem.Shadow.pp_violation v)
-    r.Experiment.violation_samples
+    r.Experiment.violation_samples;
+  (match r.Experiment.profile with
+  | Some p ->
+      let totals = St_sim.Profile.totals p in
+      let sum = Array.fold_left ( + ) 0 totals in
+      printf "  cycle accounts      (accounted %d of makespan x threads)@." sum;
+      List.iteri
+        (fun i a ->
+          if totals.(i) > 0 then
+            printf "    %-16s  %12d  %5.1f%%@."
+              (St_sim.Profile.account_name a)
+              totals.(i)
+              (100. *. float_of_int totals.(i) /. float_of_int sum))
+        St_sim.Profile.accounts;
+      let idle =
+        List.fold_left
+          (fun acc (th : St_sim.Profile.thread_snapshot) -> acc + th.idle)
+          0 p.St_sim.Profile.threads
+      in
+      printf "    %-16s  %12d@." "idle" idle
+  | None -> ());
+  (match r.Experiment.heatmap with
+  | Some rows when rows <> [] ->
+      printf "  contention heatmap  (top %d cache lines)@." (List.length rows);
+      printf "    %8s %10s %10s %10s  %s@." "line" "touches" "conflicts"
+        "capacity" "owner";
+      List.iter
+        (fun (row : Experiment.heat_row) ->
+          printf "    %8d %10d %10d %10d  %s@." row.heat.St_htm.Heatmap.line
+            row.heat.St_htm.Heatmap.touches row.heat.St_htm.Heatmap.conflicts
+            row.heat.St_htm.Heatmap.capacity
+            (Option.value ~default:"-" row.owner))
+        rows
+  | _ -> ())
 
 let run_cmd =
   let structure =
@@ -156,9 +189,31 @@ let run_cmd =
             "Sample machine-wide counters every $(docv) virtual cycles \
              into a time series (0 = off); included in --json output.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attribute every simulated cycle to a typed account \
+             (committed/wasted transactional work, slow path, reclamation \
+             scan and stall, coherence, context switches) and tally \
+             per-cache-line contention; adds cycle-account and heatmap \
+             sections to the text report and profile/heatmap/latency_hist \
+             sections to --json output.  Pure bookkeeping: the simulated \
+             run itself is unchanged.")
+  in
+  let flame_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flame-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the profile as collapsed stacks \
+             ($(i,scheme;tid;account cycles)) to $(docv), ready for \
+             flamegraph.pl or speedscope.  Implies --profile.")
+  in
   let run structure scheme threads duration keys init mutations seed buckets
       forced_slow max_free hash_scan crash zipf json trace_out trace_capacity
-      metrics_interval =
+      metrics_interval profile flame_out =
     match scheme_of_string ~forced_slow ~max_free ~hash_scan scheme with
     | Error e ->
         prerr_endline e;
@@ -197,17 +252,34 @@ let run_cmd =
               | Some theta -> St_workload.Workload.Zipf theta);
             metrics_interval;
             trace;
+            profile = profile || flame_out <> None;
           }
         in
         let r = Experiment.run cfg in
         if json then print_string (Result_json.to_string r ^ "\n")
         else print_result r;
+        (match flame_out with
+        | Some file ->
+            Result_json.write_flame_file file [ r ];
+            if not json then Format.printf "  flame               %s@." file
+        | None -> ());
         match (trace_out, trace) with
         | Some file, Some tr ->
             Chrome_trace.write_file file tr;
-            if not json then
+            let dropped = St_sim.Trace.dropped tr in
+            if not json then begin
               Format.printf "  trace               %s (%d events, %d dropped)@."
-                file (St_sim.Trace.size tr) (St_sim.Trace.dropped tr)
+                file (St_sim.Trace.size tr) dropped;
+              if dropped > 0 then
+                Format.printf
+                  "  WARNING: trace ring overflowed; %d events dropped — the \
+                   Chrome trace is truncated (raise --trace-capacity)@."
+                  dropped
+            end
+            else if dropped > 0 then
+              Format.eprintf
+                "stacktrack_bench: warning: trace ring dropped %d events@."
+                dropped
         | _ -> ()
   in
   Cmd.v
@@ -215,7 +287,8 @@ let run_cmd =
     Term.(
       const run $ structure $ scheme $ threads $ duration $ keys $ init
       $ mutations $ seed $ buckets $ forced_slow $ max_free $ hash_scan $ crash
-      $ zipf $ json $ trace_out $ trace_capacity $ metrics_interval)
+      $ zipf $ json $ trace_out $ trace_capacity $ metrics_interval $ profile
+      $ flame_out)
 
 let figures_cmd =
   let names =

@@ -192,6 +192,8 @@ let register_slow env =
     Trace.instant (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
       Trace.Engine "slow-path" (fun () ->
         Printf.sprintf "active=%d" env.th.s.slow_path_count);
+    Profile.push_mode (Sched.profile (sched env)) ~tid:env.th.tid
+      Profile.Slow_path;
     Sched.consume (sched env) (costs env).fetch_add;
     let st = env.th.s.st in
     st.Scheme_stats.slow_ops <- st.Scheme_stats.slow_ops + 1
@@ -201,7 +203,8 @@ let deregister_slow env =
   if env.slow_registered then begin
     env.slow_registered <- false;
     env.th.s.slow_path_count <- env.th.s.slow_path_count - 1;
-    Sched.consume (sched env) (costs env).fetch_add
+    Sched.consume (sched env) (costs env).fetch_add;
+    Profile.pop_mode (Sched.profile (sched env)) ~tid:env.th.tid
   end
 
 (* Entering live execution after the replayed prefix: open the segment
@@ -596,8 +599,15 @@ let scan_and_free th =
     (fun () -> Printf.sprintf "pending=%d" pending);
   s.st.Scheme_stats.scans <- s.st.Scheme_stats.scans + 1;
   s.stats.Guard.scans <- s.stats.Guard.scans + 1;
-  if s.cfg.St_config.hash_scan then scan_and_free_hashed th
-  else scan_and_free_plain th;
+  let profile = Sched.profile sched in
+  Profile.push_mode profile ~tid:th.tid Profile.Reclaim_scan;
+  (* Fun.protect: a crash injected mid-scan unwinds with Thread_crashed and
+     must still pop the attribution mode. *)
+  Fun.protect
+    ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
+    (fun () ->
+      if s.cfg.St_config.hash_scan then scan_and_free_hashed th
+      else scan_and_free_plain th);
   s.stats.Guard.scan_words <- s.st.Scheme_stats.stack_words;
   Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim "scan"
     (fun () ->

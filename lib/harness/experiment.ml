@@ -62,6 +62,11 @@ type config = {
   trace : St_sim.Trace.t option;
       (** Event sink wired into the simulated machine; [None] (default)
           installs a disabled trace, so instrumentation costs nothing. *)
+  profile : bool;
+      (** Enable the cycle-attribution profiler and the cache-line
+          contention heatmap.  Both do pure arithmetic at existing charge
+          sites (no RNG draws, no extra consumes), so the simulation result
+          is identical with this on or off. *)
 }
 
 let default_config =
@@ -85,7 +90,10 @@ let default_config =
     sample_live = 0;
     metrics_interval = 0;
     trace = None;
+    profile = false;
   }
+
+type heat_row = { heat : Heatmap.row; owner : string option }
 
 type result = {
   cfg : config;
@@ -110,6 +118,11 @@ type result = {
   metrics : Metrics.sample list;
       (** Full counter time series when [metrics_interval] > 0. *)
   peak_live : int;
+  profile : St_sim.Profile.snapshot option;
+      (** Per-thread cycle accounts; [Some] iff [cfg.profile]. *)
+  heatmap : heat_row list option;
+      (** Top-N contention heatmap, hot lines annotated with the live
+          object owning them; [Some] iff [cfg.profile]. *)
 }
 
 let throughput_of ~ops ~makespan =
@@ -199,13 +212,17 @@ let worker_loop ~sched ~duration ~ops_per_thread ~latency ~(mk : int -> 'th)
 
 let run cfg =
   let topo = Topology.create ~cores:cfg.cores ~smt:cfg.smt () in
+  let profile = Profile.create ~enabled:cfg.profile () in
+  let heatmap = Heatmap.create ~enabled:cfg.profile () in
   let sched =
-    Sched.create ~topology:topo ~quantum:cfg.quantum ?trace:cfg.trace
+    Sched.create ~topology:topo ~quantum:cfg.quantum ?trace:cfg.trace ~profile
       ~seed:cfg.seed ()
   in
   let shadow = Shadow.create () in
   let heap = Heap.create ~initial_words:(1 lsl 18) ~shadow () in
-  let tsx = Tsx.create ~cache:cfg.cache ~backend:cfg.backend ~sched ~heap () in
+  let tsx =
+    Tsx.create ~cache:cfg.cache ~backend:cfg.backend ~heatmap ~sched ~heap ()
+  in
   let rt = Guard.make_runtime ~sched ~tsx in
   let setup_rng = Rng.create ~seed:(cfg.seed lxor 0x5EED) in
   let inst = make_instance rt cfg.scheme in
@@ -253,6 +270,8 @@ let run cfg =
         | None -> 0);
       stall_cycles = g.Guard.stall_cycles;
       context_switches = Sched.context_switches sched;
+      wasted_cycles =
+        Profile.wasted_cycles profile ~n_threads:(Sched.n_threads sched);
     }
   in
 
@@ -383,6 +402,36 @@ let run cfg =
   let reclaim_stats =
     match inst.packed with Packed ((module G), s) -> G.stats s
   in
+  (* Resolve each hot line back to the live object owning its first word.
+     The allocator aligns objects to line size, so the line-start address
+     either falls inside one object or in dead/unused space; the birth
+     (allocation sequence) number is the seed-deterministic object name. *)
+  let owner_of_line line =
+    let addr = line lsl cfg.cache.Cache.line_shift in
+    match Heap.base_of heap addr with
+    | None -> None
+    | Some base ->
+        let birth =
+          match Heap.birth_of heap base with Some b -> b | None -> 0
+        in
+        Some (Printf.sprintf "obj#%d@%d+%d" birth base (addr - base))
+  in
+  let profile_snap =
+    if cfg.profile then
+      Some
+        (Profile.snapshot profile
+           ~consumed:(Sched.consumed_by_thread sched)
+           ~makespan)
+    else None
+  in
+  let heatmap_rows =
+    if cfg.profile then
+      Some
+        (List.map
+           (fun (h : Heatmap.row) -> { heat = h; owner = owner_of_line h.line })
+           (Heatmap.snapshot ~top:16 heatmap))
+    else None
+  in
   {
     cfg;
     total_ops;
@@ -404,4 +453,6 @@ let run cfg =
     live_samples = List.rev !live_samples;
     metrics = List.rev !metrics_acc;
     peak_live = Heap.peak_live heap;
+    profile = profile_snap;
+    heatmap = heatmap_rows;
   }

@@ -54,9 +54,19 @@ type config = {
       (** Event sink wired into the simulated machine; [None] (default)
           installs a disabled trace, so instrumentation costs nothing.
           A trace is single-run state: give each run its own. *)
+  profile : bool;
+      (** Enable the cycle-attribution profiler and the cache-line
+          contention heatmap.  Both do pure arithmetic at existing charge
+          sites (no RNG draws, no extra consumes), so the simulation
+          result is identical with this on or off. *)
 }
 
 val default_config : config
+
+type heat_row = { heat : St_htm.Heatmap.row; owner : string option }
+(** A contention-heatmap row plus the owning live object, formatted
+    ["obj#<birth>@<base>+<offset>"] ([None] when the line's object was
+    freed before the end of the run). *)
 
 type result = {
   cfg : config;
@@ -81,6 +91,12 @@ type result = {
   metrics : Metrics.sample list;
       (** Full counter time series when [metrics_interval] > 0. *)
   peak_live : int;
+  profile : St_sim.Profile.snapshot option;
+      (** Per-thread cycle accounts; [Some] iff [cfg.profile].  Satisfies
+          the conservation invariant: accounts sum to each thread's clock
+          advance ({!St_sim.Profile.conserved}). *)
+  heatmap : heat_row list option;
+      (** Top-N contention heatmap; [Some] iff [cfg.profile]. *)
 }
 
 val throughput_of : ops:int -> makespan:int -> float

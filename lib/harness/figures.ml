@@ -93,8 +93,10 @@ let chunks k xs =
   go [] xs
 
 (* Throughput sweep over threads x schemes. *)
-let throughput_sweep ?(verbose = false) ?(jobs = 1) ~speed ~base ~schemes () =
+let throughput_sweep ?(verbose = false) ?(jobs = 1) ?(profile = false) ~speed
+    ~base ~schemes () =
   let threads = thread_points speed in
+  let base : Experiment.config = { base with profile } in
   let cfgs =
     List.concat_map
       (fun t -> List.map (fun scheme -> { base with scheme; threads = t }) schemes)
@@ -128,10 +130,11 @@ let set_schemes = [ Original; Hazards; Epoch; stacktrack_default ]
 (* Figure 1: list and skip-list throughput                             *)
 (* ------------------------------------------------------------------ *)
 
-let fig1_list ?verbose ?jobs ~speed () =
+let fig1_list ?verbose ?jobs ?profile ~speed () =
   let schemes = set_schemes @ [ Dta ] in
   let rows =
-    throughput_sweep ?verbose ?jobs ~speed ~base:(list_config speed) ~schemes ()
+    throughput_sweep ?verbose ?jobs ?profile ~speed ~base:(list_config speed)
+      ~schemes ()
   in
   print_throughput
     ~title:"Figure 1a -- List: throughput vs threads"
@@ -139,10 +142,10 @@ let fig1_list ?verbose ?jobs ~speed () =
     ~schemes rows;
   rows
 
-let fig1_skiplist ?verbose ?jobs ~speed () =
+let fig1_skiplist ?verbose ?jobs ?profile ~speed () =
   let rows =
-    throughput_sweep ?verbose ?jobs ~speed ~base:(skiplist_config speed)
-      ~schemes:set_schemes ()
+    throughput_sweep ?verbose ?jobs ?profile ~speed
+      ~base:(skiplist_config speed) ~schemes:set_schemes ()
   in
   print_throughput
     ~title:"Figure 1b -- Skip list: throughput vs threads"
@@ -154,9 +157,9 @@ let fig1_skiplist ?verbose ?jobs ~speed () =
 (* Figure 2: queue and hash-table throughput                           *)
 (* ------------------------------------------------------------------ *)
 
-let fig2_queue ?verbose ?jobs ~speed () =
+let fig2_queue ?verbose ?jobs ?profile ~speed () =
   let rows =
-    throughput_sweep ?verbose ?jobs ~speed ~base:(queue_config speed)
+    throughput_sweep ?verbose ?jobs ?profile ~speed ~base:(queue_config speed)
       ~schemes:set_schemes ()
   in
   print_throughput
@@ -165,9 +168,9 @@ let fig2_queue ?verbose ?jobs ~speed () =
     ~schemes:set_schemes rows;
   rows
 
-let fig2_hash ?verbose ?jobs ~speed () =
+let fig2_hash ?verbose ?jobs ?profile ~speed () =
   let rows =
-    throughput_sweep ?verbose ?jobs ~speed ~base:(hash_config speed)
+    throughput_sweep ?verbose ?jobs ?profile ~speed ~base:(hash_config speed)
       ~schemes:set_schemes ()
   in
   print_throughput
@@ -460,7 +463,7 @@ let stm_vs_htm ?(verbose = false) ?(jobs = 1) ~speed () =
    schemes (sec 1).  Thread 0 crashes at 25% of the run; live objects are
    sampled over time: epoch's curve climbs from the crash onward while the
    non-blocking schemes stay flat. *)
-let memory_profile ?(verbose = false) ?(jobs = 1) ~speed () =
+let memory_profile ?(verbose = false) ?(jobs = 1) ?(profile = false) ~speed () =
   let base =
     let d = duration speed * 3 in
     {
@@ -472,6 +475,7 @@ let memory_profile ?(verbose = false) ?(jobs = 1) ~speed () =
       duration = d;
       crash_tids = [ 0 ];
       sample_live = d / 12;
+      profile;
     }
   in
   let schemes = [ Epoch; Hazards; stacktrack_default ] in

@@ -30,28 +30,31 @@ val set_schemes : Experiment.scheme_kind list
 val throughput_sweep :
   ?verbose:bool ->
   ?jobs:int ->
+  ?profile:bool ->
   speed:speed ->
   base:Experiment.config ->
   schemes:Experiment.scheme_kind list ->
   unit ->
   (int * Experiment.result list) list
 (** Threads x schemes sweep; rows keyed by thread count, results in scheme
-    order.  Asserts zero shadow-checker violations per point. *)
+    order.  Asserts zero shadow-checker violations per point.  [profile]
+    turns on the cycle-attribution profiler and contention heatmap for
+    every point (off by default; see {!Experiment.config}). *)
 
 val fig1_list :
-  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
   (int * Experiment.result list) list
 
 val fig1_skiplist :
-  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
   (int * Experiment.result list) list
 
 val fig2_queue :
-  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
   (int * Experiment.result list) list
 
 val fig2_hash :
-  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
   (int * Experiment.result list) list
 
 val fig3_aborts :
@@ -74,7 +77,7 @@ val stm_vs_htm :
   ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
 
 val memory_profile :
-  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
   (Experiment.scheme_kind * Experiment.result) list
 
 val ablation_predictor :

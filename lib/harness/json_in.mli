@@ -1,0 +1,20 @@
+(** Minimal JSON reader — the inverse of {!Json_out}.
+
+    Parses standard JSON (RFC 8259) into the {!Json_out.t} AST so the
+    offline analyzer can read result artifacts without a JSON
+    dependency.  Round-trips everything the exporters emit:
+    [parse (Json_out.to_string v)] structurally equals [v] for any [v]
+    built from finite floats.
+
+    Numbers with no fraction or exponent parse as [Int] (falling back to
+    [Float] on overflow); all others parse as [Float].  Object key order
+    is preserved. *)
+
+exception Parse_error of string * int
+(** [(message, byte offset)] of the first offending character. *)
+
+val parse : string -> Json_out.t
+(** Parse one JSON document; rejects trailing non-whitespace. *)
+
+val parse_file : string -> Json_out.t
+(** Read and {!parse} a whole file. *)

@@ -69,6 +69,15 @@ let percentile t p =
     !result
   end
 
+(* Nonzero buckets as (lower bound, count), ascending — the sparse form
+   the JSON export and the analyzer's distribution diff consume. *)
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (bucket_low i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
 let merge ts =
   let acc = create () in
   List.iter

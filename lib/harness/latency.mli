@@ -36,6 +36,10 @@ val percentile : t -> float -> int
 (** [percentile t p] for [p] in [0..100]: the lower bound of the bucket
     containing the rank-[p] value; 0 on an empty histogram. *)
 
+val nonzero_buckets : t -> (int * int) list
+(** The populated buckets as [(lower bound, count)] pairs in ascending
+    bound order — the sparse histogram form exported to result JSON. *)
+
 val merge : t list -> t
 
 val pp : Format.formatter -> t -> unit

@@ -29,6 +29,10 @@ type sample = {
   scan_restarts : int;  (** StackTrack Alg. 1 inspection restarts. *)
   stall_cycles : int;  (** Cycles reclaimers spent blocked. *)
   context_switches : int;
+  wasted_cycles : int;
+      (** Cycles burnt inside aborted transactions so far (0 when the
+          profiler is disabled) — makes a mid-run throughput dip
+          attributable to wasted speculation in the same series. *)
 }
 
 type t = { interval : int; mutable rev_samples : sample list; mutable n : int }

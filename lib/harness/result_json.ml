@@ -7,6 +7,7 @@
     text tables.  Output is deterministic for a given seed/configuration
     (see {!Json_out}). *)
 
+open St_sim
 open St_htm
 open St_reclaim
 
@@ -116,11 +117,70 @@ let of_metrics_sample (s : Metrics.sample) =
       ("scan_restarts", Json_out.Int s.scan_restarts);
       ("stall_cycles", Json_out.Int s.stall_cycles);
       ("context_switches", Json_out.Int s.context_switches);
+      ("wasted_cycles", Json_out.Int s.wasted_cycles);
     ]
 
-let encode (r : Experiment.result) =
+let account_fields cycles =
+  List.mapi
+    (fun i a -> (Profile.account_name a, Json_out.Int cycles.(i)))
+    Profile.accounts
+
+let of_profile (p : Profile.snapshot) =
+  let thread (th : Profile.thread_snapshot) =
+    Json_out.Obj
+      (("tid", Json_out.Int th.tid)
+       :: account_fields th.cycles
+      @ [ ("consumed", Json_out.Int th.consumed);
+          ("idle", Json_out.Int th.idle) ])
+  in
   Json_out.Obj
     [
+      ("makespan", Json_out.Int p.makespan);
+      ("totals", Json_out.Obj (account_fields (Profile.totals p)));
+      ("threads", Json_out.List (List.map thread p.threads));
+    ]
+
+let of_heat_row (h : Experiment.heat_row) =
+  Json_out.Obj
+    [
+      ("line", Json_out.Int h.heat.Heatmap.line);
+      ("touches", Json_out.Int h.heat.Heatmap.touches);
+      ("conflicts", Json_out.Int h.heat.Heatmap.conflicts);
+      ("capacity", Json_out.Int h.heat.Heatmap.capacity);
+      ( "owner",
+        match h.owner with
+        | Some s -> Json_out.String s
+        | None -> Json_out.Null );
+    ]
+
+let of_latency_hist l =
+  Json_out.List
+    (List.map
+       (fun (low, n) ->
+         Json_out.Obj [ ("low", Json_out.Int low); ("count", Json_out.Int n) ])
+       (Latency.nonzero_buckets l))
+
+(* New sections are appended at the end and only when their feature is
+   enabled, so artifacts from runs without --trace/--profile stay
+   byte-identical to the pre-profiler goldens. *)
+let encode (r : Experiment.result) =
+  let tail =
+    (match r.cfg.trace with
+    | Some tr -> [ ("trace_dropped", Json_out.Int (Trace.dropped tr)) ]
+    | None -> [])
+    @ (match r.profile with
+      | Some p ->
+          [
+            ("latency_hist", of_latency_hist r.latency);
+            ("profile", of_profile p);
+            ( "heatmap",
+              Json_out.List
+                (List.map of_heat_row (Option.value ~default:[] r.heatmap)) );
+          ]
+      | None -> [])
+  in
+  Json_out.Obj
+    ([
       ("config", of_config r.cfg);
       ("total_ops", Json_out.Int r.total_ops);
       ( "ops_per_thread",
@@ -151,6 +211,47 @@ let encode (r : Experiment.result) =
              r.live_samples) );
       ("metrics", Json_out.List (List.map of_metrics_sample r.metrics));
     ]
+    @ tail)
 
 let to_string r = Json_out.to_string (encode r)
 let write_file path r = Json_out.write_file path (encode r)
+
+(* ------------------------------------------------------------------ *)
+(* Flamegraph collapsed-stack export                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One line per (thread, account) with nonzero cycles, in tid order then
+   account order, plus an idle frame — feed to flamegraph.pl or
+   speedscope.  Empty when the run was not profiled. *)
+let flame_lines (r : Experiment.result) =
+  match r.profile with
+  | None -> []
+  | Some p ->
+      let scheme = Experiment.scheme_name r.cfg.scheme in
+      List.concat_map
+        (fun (th : Profile.thread_snapshot) ->
+          let accts =
+            List.filteri (fun i _ -> th.cycles.(i) > 0) Profile.accounts
+            |> List.map (fun a ->
+                   (Profile.account_name a,
+                    th.cycles.(Profile.account_index a)))
+          in
+          let accts =
+            if th.idle > 0 then accts @ [ ("idle", th.idle) ] else accts
+          in
+          List.map
+            (fun (name, c) ->
+              Printf.sprintf "%s;tid%d;%s %d" scheme th.tid name c)
+            accts)
+        p.threads
+
+let flame_string r =
+  match flame_lines r with
+  | [] -> ""
+  | lines -> String.concat "\n" lines ^ "\n"
+
+let write_flame_file path rs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun r -> output_string oc (flame_string r)) rs)

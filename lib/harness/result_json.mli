@@ -1,0 +1,49 @@
+(** Machine-readable encoding of {!Experiment.result}.
+
+    One JSON object per run: the configuration that produced it, the
+    headline numbers (throughput, abort mix, reclamation counters), the
+    latency distribution summary, and the sampled time series — everything
+    a figure script or [bench/analyze.exe] needs without scraping the text
+    tables.  Output is deterministic for a given seed/configuration (see
+    {!Json_out}).
+
+    Sections gated on run options are appended after the always-present
+    fields, so artifacts from runs without them are byte-identical to
+    pre-profiler goldens:
+    - [trace_dropped] — when the run recorded a trace ([cfg.trace]);
+    - [latency_hist], [profile], [heatmap] — when [cfg.profile] was set. *)
+
+val of_config : Experiment.config -> Json_out.t
+val of_htm : St_htm.Htm_stats.t -> Json_out.t
+val of_reclaim : St_reclaim.Guard.stats -> Json_out.t
+val of_scheme_stats : Stacktrack.Scheme_stats.t -> Json_out.t
+val of_latency : Latency.t -> Json_out.t
+
+val of_latency_hist : Latency.t -> Json_out.t
+(** The full sparse histogram: a list of [{low, count}] objects, one per
+    populated bucket, ascending lower bound. *)
+
+val of_metrics_sample : Metrics.sample -> Json_out.t
+val of_profile : St_sim.Profile.snapshot -> Json_out.t
+val of_heat_row : Experiment.heat_row -> Json_out.t
+
+val encode : Experiment.result -> Json_out.t
+(** The complete result document. *)
+
+val to_string : Experiment.result -> string
+val write_file : string -> Experiment.result -> unit
+
+(** {2 Flamegraph collapsed-stack export} *)
+
+val flame_lines : Experiment.result -> string list
+(** One ["scheme;tid<N>;account cycles"] line per (thread, account) with
+    nonzero cycles — tid ascending, accounts in {!St_sim.Profile.accounts}
+    order, an [idle] frame last.  Empty for unprofiled runs.  Feed to
+    [flamegraph.pl] or speedscope. *)
+
+val flame_string : Experiment.result -> string
+(** {!flame_lines} joined with newlines (trailing newline; [""] when
+    empty). *)
+
+val write_flame_file : string -> Experiment.result list -> unit
+(** Concatenate the collapsed stacks of several runs into one file. *)

@@ -1,0 +1,26 @@
+(** Per-cache-line contention heatmap.
+
+    The HTM layer records, per modelled cache line: how many memory
+    accesses touched it, how many conflict dooms it caused (requester-wins
+    resolution choosing a victim on that line), and how many associativity
+    capacity aborts the line triggered.  Pressure-eviction capacity aborts
+    doom a whole transaction, not a line, and are not attributed here.
+
+    Disabled by default; a disabled heatmap records nothing and costs one
+    branch per call.  Recording performs no RNG draws and no cycle
+    charges, so enabling it never perturbs a run. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enabled : t -> bool
+
+val touch : t -> int -> unit
+val conflict : t -> int -> unit
+val capacity : t -> int -> unit
+
+type row = { line : int; touches : int; conflicts : int; capacity : int }
+
+val snapshot : ?top:int -> t -> row list
+(** The [top] (default 16) hottest lines: conflicts descending, then
+    touches descending, then line ascending — a deterministic order. *)

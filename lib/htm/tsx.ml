@@ -62,15 +62,18 @@ type t = {
      on every conflict doom).  Used to pinpoint hot lines when diagnosing
      contention storms. *)
   tally : (int, int) Hashtbl.t;
+  heatmap : Heatmap.t;
 }
 
-let create ?(cache = Cache.create ()) ?(backend = Htm) ~sched ~heap () =
+let create ?(cache = Cache.create ()) ?(backend = Htm)
+    ?(heatmap = Heatmap.create ()) ~sched ~heap () =
   let t =
     {
       sched;
       heap;
       cache;
       backend;
+      heatmap;
       txns = Array.make max_threads None;
       line_versions = Hashtbl.create 4096;
       stm_clock = 0;
@@ -102,6 +105,8 @@ let sched t = t.sched
 let cache t = t.cache
 let stats t ~tid = t.stats.(tid)
 let conflict_tally t = t.tally
+let heatmap t = t.heatmap
+let profile t = Sched.profile t.sched
 
 let total_stats t =
   (* Merge only the threads the scheduler knows about: sweeping the full
@@ -201,7 +206,10 @@ let do_abort t txn reason =
       Printf.sprintf "abort:%s lines=%d"
         (Htm_stats.reason_to_string reason)
         (Hashtbl.length txn.lines));
+  (* The abort-handling latency itself is wasted work: charge it while the
+     profiler still considers the transaction open, then resolve. *)
   Sched.consume t.sched (costs t).htm_abort;
+  Profile.txn_abort (profile t) ~tid:txn.owner;
   raise (Abort reason)
 
 let check_doomed t txn =
@@ -222,6 +230,7 @@ let doom_conflicting t ~me ~line ~against_readers =
               match t.txns.(other) with
               | Some txn when txn.doomed = None ->
                   txn.doomed <- Some Htm_stats.Conflict;
+                  Heatmap.conflict t.heatmap line;
                   Hashtbl.replace t.tally line
                     (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally line))
               | _ -> ())
@@ -301,7 +310,10 @@ let track t txn line =
     if t.backend = Htm then begin
       let set = Cache.set_of t.cache line in
       let occ = txn.set_occ.(set) + 1 in
-      if occ > effective_ways t then do_abort t txn Htm_stats.Capacity;
+      if occ > effective_ways t then begin
+        Heatmap.capacity t.heatmap line;
+        do_abort t txn Htm_stats.Capacity
+      end;
       txn.set_occ.(set) <- occ
     end;
     Hashtbl.replace txn.lines line ()
@@ -352,12 +364,14 @@ let start t =
   t.stats.(me).starts <- t.stats.(me).starts + 1;
   Trace.span_begin (trace t) ~time:(Sched.now t.sched) ~tid:me Trace.Htm "txn"
     Trace.no_detail;
+  Profile.txn_begin (profile t) ~tid:me;
   Sched.consume t.sched (costs t).htm_begin
 
 let txn_read t txn addr =
   pressure_evict t ~me:txn.owner;
   check_doomed t txn;
   let line = Cache.line_of t.cache addr in
+  Heatmap.touch t.heatmap line;
   track t txn line;
   note_read t txn line;
   (match t.backend with
@@ -369,6 +383,7 @@ let txn_read t txn addr =
     | None -> Heap.read t.heap ~tid:txn.owner addr
   in
   let miss = coherence_cost t ~me:txn.owner ~line ~is_write:false in
+  Profile.note_coherence (profile t) ~tid:txn.owner miss;
   (* STM pays instrumentation on every shared read (version load +
      read-set bookkeeping). *)
   let instr = if t.backend = Stm then (costs t).load + (costs t).store else 0 in
@@ -379,6 +394,7 @@ let txn_write t txn addr v =
   pressure_evict t ~me:txn.owner;
   check_doomed t txn;
   let line = Cache.line_of t.cache addr in
+  Heatmap.touch t.heatmap line;
   track t txn line;
   note_write t txn line;
   (match t.backend with
@@ -386,6 +402,7 @@ let txn_write t txn addr v =
   | Stm -> stm_note_read t txn line);
   Hashtbl.replace txn.writes addr v;
   let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
+  Profile.note_coherence (profile t) ~tid:txn.owner miss;
   let instr = if t.backend = Stm then (costs t).store else 0 in
   Sched.consume t.sched ((costs t).store + miss + instr)
 
@@ -431,6 +448,7 @@ let commit t =
       end;
       t.txns.(me) <- None;
       unindex t txn;
+      Profile.txn_commit (profile t) ~tid:me;
       t.stats.(me).commits <- t.stats.(me).commits + 1;
       t.stats.(me).data_set_lines <-
         t.stats.(me).data_set_lines + footprint txn;
@@ -453,9 +471,11 @@ let nt_read t addr =
       let me = tid t in
       pressure_evict t ~me;
       let line = Cache.line_of t.cache addr in
+      Heatmap.touch t.heatmap line;
       doom_conflicting t ~me ~line ~against_readers:false;
       let v = Heap.read t.heap ~tid:me addr in
       let miss = coherence_cost t ~me ~line ~is_write:false in
+      Profile.note_coherence (profile t) ~tid:me miss;
       Sched.consume t.sched ((costs t).load + miss);
       v
 
@@ -466,6 +486,7 @@ let nt_write t addr v =
       let me = tid t in
       pressure_evict t ~me;
       let line = Cache.line_of t.cache addr in
+      Heatmap.touch t.heatmap line;
       doom_conflicting t ~me ~line ~against_readers:true;
       Heap.write t.heap ~tid:me addr v;
       if t.backend = Stm then begin
@@ -473,6 +494,7 @@ let nt_write t addr v =
         bump_line_version t line
       end;
       let miss = coherence_cost t ~me ~line ~is_write:true in
+      Profile.note_coherence (profile t) ~tid:me miss;
       Sched.consume t.sched ((costs t).store + miss)
 
 let nt_cas t addr ~expect desired =
@@ -485,6 +507,7 @@ let nt_cas t addr ~expect desired =
       pressure_evict t ~me:txn.owner;
       check_doomed t txn;
       let line = Cache.line_of t.cache addr in
+      Heatmap.touch t.heatmap line;
       track t txn line;
       note_read t txn line;
       let cur =
@@ -505,6 +528,7 @@ let nt_cas t addr ~expect desired =
          a remotely-owned line must not be cheaper than a plain
          transactional write to it. *)
       let miss = coherence_cost t ~me:txn.owner ~line ~is_write:ok in
+      Profile.note_coherence (profile t) ~tid:txn.owner miss;
       Sched.consume t.sched ((costs t).cas + miss);
       ok
   | None ->
@@ -515,6 +539,7 @@ let nt_cas t addr ~expect desired =
          other quadratically. *)
       let me = tid t in
       let line = Cache.line_of t.cache addr in
+      Heatmap.touch t.heatmap line;
       let cur = Heap.read t.heap ~tid:me addr in
       let ok = cur = expect in
       doom_conflicting t ~me ~line ~against_readers:ok;
@@ -526,6 +551,7 @@ let nt_cas t addr ~expect desired =
         end
       end;
       let miss = coherence_cost t ~me ~line ~is_write:ok in
+      Profile.note_coherence (profile t) ~tid:me miss;
       Sched.consume t.sched ((costs t).cas + miss);
       ok
 
@@ -537,6 +563,7 @@ let nt_fetch_add t addr delta =
       pressure_evict t ~me:txn.owner;
       check_doomed t txn;
       let line = Cache.line_of t.cache addr in
+      Heatmap.touch t.heatmap line;
       track t txn line;
       note_read t txn line;
       note_write t txn line;
@@ -548,11 +575,13 @@ let nt_fetch_add t addr delta =
       in
       Hashtbl.replace txn.writes addr (cur + delta);
       let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
+      Profile.note_coherence (profile t) ~tid:txn.owner miss;
       Sched.consume t.sched ((costs t).fetch_add + miss);
       cur
   | None ->
       let me = tid t in
       let line = Cache.line_of t.cache addr in
+      Heatmap.touch t.heatmap line;
       doom_conflicting t ~me ~line ~against_readers:true;
       let cur = Heap.read t.heap ~tid:me addr in
       Heap.write t.heap ~tid:me addr (cur + delta);
@@ -561,6 +590,7 @@ let nt_fetch_add t addr delta =
         bump_line_version t line
       end;
       let miss = coherence_cost t ~me ~line ~is_write:true in
+      Profile.note_coherence (profile t) ~tid:me miss;
       Sched.consume t.sched ((costs t).fetch_add + miss);
       cur
 

@@ -42,12 +42,15 @@ exception Abort of Htm_stats.abort_reason
 val create :
   ?cache:Cache.t ->
   ?backend:backend ->
+  ?heatmap:Heatmap.t ->
   sched:St_sim.Sched.t ->
   heap:St_mem.Heap.t ->
   unit ->
   t
 (** Creates the HTM manager and registers its preemption hook with the
-    scheduler.  [n_threads] contexts are lazily sized from the scheduler. *)
+    scheduler.  [n_threads] contexts are lazily sized from the scheduler.
+    [heatmap] (default: disabled) receives per-line touch/conflict/capacity
+    tallies from every memory access. *)
 
 val heap : t -> St_mem.Heap.t
 val sched : t -> St_sim.Sched.t
@@ -112,6 +115,9 @@ val conflict_tally : t -> (int, int) Hashtbl.t
     manager (not a module-level global), so several managers can coexist in
     one process — e.g. a parallel sweep runner — without corrupting each
     other's tallies. *)
+
+val heatmap : t -> Heatmap.t
+(** The contention heatmap this manager records into. *)
 
 val stats : t -> tid:int -> Htm_stats.t
 val total_stats : t -> Htm_stats.t

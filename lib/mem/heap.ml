@@ -3,6 +3,8 @@ type t = {
   mutable words : int array; (* indexed by addr *)
   mutable owner : int array; (* addr -> live object base, 0 when dead *)
   mutable obj_size : int array; (* base addr -> size, valid while live *)
+  mutable birth : int array; (* base addr -> allocation seq, valid while live *)
+  mutable next_birth : int;
   mutable brk : int; (* next never-used address *)
   free_lists : (int, Word.addr list ref) Hashtbl.t; (* size -> LIFO *)
   quarantine : (Word.addr * int) Queue.t; (* freed blocks awaiting reuse *)
@@ -27,6 +29,8 @@ let create ?(initial_words = 1 lsl 16) ?(quarantine = 128) ?(align = 4)
     words = Array.make cap 0;
     owner = Array.make cap 0;
     obj_size = Array.make cap 0;
+    birth = Array.make cap 0;
+    next_birth = 0;
     brk = Word.heap_base;
     free_lists = Hashtbl.create 8;
     quarantine = Queue.create ();
@@ -54,7 +58,8 @@ let ensure_capacity t needed =
     in
     t.words <- grow t.words 0;
     t.owner <- grow t.owner 0;
-    t.obj_size <- grow t.obj_size 0
+    t.obj_size <- grow t.obj_size 0;
+    t.birth <- grow t.birth 0
   end
 
 let in_heap t addr = addr >= Word.heap_base && addr < t.brk
@@ -65,6 +70,8 @@ let claim t base size =
     t.words.(i) <- 0
   done;
   t.obj_size.(base) <- size;
+  t.birth.(base) <- t.next_birth;
+  t.next_birth <- t.next_birth + 1;
   t.allocs <- t.allocs + 1;
   t.live <- t.live + 1;
   if t.live > t.peak then t.peak <- t.live;
@@ -107,6 +114,8 @@ let size_of t addr = if is_allocated t addr then Some t.obj_size.(addr) else Non
 
 let base_of t v =
   if in_heap t v && t.owner.(v) <> 0 then Some t.owner.(v) else None
+
+let birth_of t addr = if is_allocated t addr then Some t.birth.(addr) else None
 
 let free t ~tid addr =
   if not (in_heap t addr) then

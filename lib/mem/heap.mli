@@ -58,6 +58,12 @@ val base_of : t -> Word.value -> Word.addr option
 (** Range query: if the word value points into any live object (including
     interior pointers), the base address of that object. *)
 
+val birth_of : t -> Word.addr -> int option
+(** Allocation sequence number of the live object based at [addr].
+    Allocation order is seed-deterministic, so the birth index is a stable
+    object name across runs and [--jobs] counts — the contention heatmap
+    uses it to label hot lines. *)
+
 (** {2 Raw access (used by the HTM layer)} *)
 
 val read : t -> tid:int -> Word.addr -> Word.value

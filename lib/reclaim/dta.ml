@@ -136,63 +136,78 @@ module Hooks = struct
     let t0 = Sched.now sched in
     let deadline = t0 + s.patience in
     let frozen_victims = ref [] in
-    List.iter
-      (fun tid ->
-        if tid <> th.tid then begin
-          let snap = s.timestamps.(tid) in
-          if snap land 1 = 1 then begin
-            (* In an operation: wait briefly for progress, then freeze the
-               thread and consume its anchor window instead of blocking
-               forever like epoch. *)
-            let rec spin () =
-              if Sched.finished sched tid then ()
-              else if (not (Sched.crashed sched tid))
-                      && s.timestamps.(tid) <> snap
-              then ()
-              else if Sched.crashed sched tid || Sched.now sched > deadline
-              then begin
-                (* Freeze first (store + fence), so the victim cannot
-                   acquire new references while we read its window. *)
-                s.frozen.(tid) <- true;
-                frozen_victims := tid :: !frozen_victims;
-                Sched.consume sched costs.store;
-                Tsx.fence s.rt.Guard.tsx;
-                (* The victim may have completed a protected read between
-                   our timeout decision and the freeze becoming visible;
-                   re-check progress once and read the window after. *)
-                for i = 0 to s.window - 1 do
-                  let p = s.rings.(tid).(i) in
-                  Sched.consume sched costs.load;
-                  s.stats.Guard.scan_words <- s.stats.Guard.scan_words + 1;
-                  if p <> 0 then Hashtbl.replace protected_set p ()
-                done
-              end
-              else begin
-                Sched.consume sched costs.load;
-                spin ()
-              end
-            in
-            spin ()
-          end
-        end)
-      s.registered;
-    s.stats.Guard.stall_cycles <-
-      s.stats.Guard.stall_cycles + (Sched.now sched - t0);
-    Vec.filter_in_place
-      (fun addr ->
-        if Hashtbl.mem protected_set addr then true
-        else begin
-          Tsx.free s.rt.Guard.tsx addr;
-          Guard.note_free s.stats ~now:(Sched.now sched) addr;
-          false
-        end)
-      th.buffer;
-    (* Recovery complete: thaw the frozen threads. *)
-    List.iter
-      (fun tid ->
-        s.frozen.(tid) <- false;
-        Sched.consume sched costs.store)
-      !frozen_victims;
+    let profile = Sched.profile sched in
+    Profile.push_mode profile ~tid:th.tid Profile.Reclaim_scan;
+    Fun.protect
+      ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
+      (fun () ->
+        (* The snapshot/spin/freeze section is what [stall_cycles] measures;
+           attribute it as stall, distinct from the scan proper. *)
+        Profile.push_mode profile ~tid:th.tid Profile.Reclaim_stall;
+        Fun.protect
+          ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
+          (fun () ->
+            List.iter
+              (fun tid ->
+                if tid <> th.tid then begin
+                  let snap = s.timestamps.(tid) in
+                  if snap land 1 = 1 then begin
+                    (* In an operation: wait briefly for progress, then
+                       freeze the thread and consume its anchor window
+                       instead of blocking forever like epoch. *)
+                    let rec spin () =
+                      if Sched.finished sched tid then ()
+                      else if (not (Sched.crashed sched tid))
+                              && s.timestamps.(tid) <> snap
+                      then ()
+                      else if
+                        Sched.crashed sched tid || Sched.now sched > deadline
+                      then begin
+                        (* Freeze first (store + fence), so the victim cannot
+                           acquire new references while we read its
+                           window. *)
+                        s.frozen.(tid) <- true;
+                        frozen_victims := tid :: !frozen_victims;
+                        Sched.consume sched costs.store;
+                        Tsx.fence s.rt.Guard.tsx;
+                        (* The victim may have completed a protected read
+                           between our timeout decision and the freeze
+                           becoming visible; re-check progress once and read
+                           the window after. *)
+                        for i = 0 to s.window - 1 do
+                          let p = s.rings.(tid).(i) in
+                          Sched.consume sched costs.load;
+                          s.stats.Guard.scan_words <-
+                            s.stats.Guard.scan_words + 1;
+                          if p <> 0 then Hashtbl.replace protected_set p ()
+                        done
+                      end
+                      else begin
+                        Sched.consume sched costs.load;
+                        spin ()
+                      end
+                    in
+                    spin ()
+                  end
+                end)
+              s.registered);
+        s.stats.Guard.stall_cycles <-
+          s.stats.Guard.stall_cycles + (Sched.now sched - t0);
+        Vec.filter_in_place
+          (fun addr ->
+            if Hashtbl.mem protected_set addr then true
+            else begin
+              Tsx.free s.rt.Guard.tsx addr;
+              Guard.note_free s.stats ~now:(Sched.now sched) addr;
+              false
+            end)
+          th.buffer;
+        (* Recovery complete: thaw the frozen threads. *)
+        List.iter
+          (fun tid ->
+            s.frozen.(tid) <- false;
+            Sched.consume sched costs.store)
+          !frozen_victims);
     Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
       Trace.Reclaim "scan" (fun () ->
         Printf.sprintf "freed=%d held=%d stall=%d frozen=%d"

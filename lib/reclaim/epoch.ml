@@ -63,28 +63,34 @@ module Hooks = struct
       "stall" Trace.no_detail;
     let deadline = t0 + s.patience in
     let ok = ref true in
-    List.iter
-      (fun tid ->
-        if tid <> th.tid && !ok then begin
-          let snap = s.timestamps.(tid) in
-          if snap land 1 = 1 then
-            (* Inside an operation: wait for progress. *)
-            let rec spin () =
-              if Sched.finished sched tid || Sched.crashed sched tid then
-                (* A crashed thread never progresses; a finished one holds
-                   no references. Crashed threads block epoch reclamation
-                   forever (the unbounded-leak failure mode). *)
-                ok := not (Sched.crashed sched tid)
-              else if s.timestamps.(tid) <> snap then ()
-              else if Sched.now sched > deadline then ok := false
-              else begin
-                Sched.consume sched costs.load;
+    let profile = Sched.profile sched in
+    Profile.push_mode profile ~tid:th.tid Profile.Reclaim_stall;
+    Fun.protect
+      ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
+      (fun () ->
+        List.iter
+          (fun tid ->
+            if tid <> th.tid && !ok then begin
+              let snap = s.timestamps.(tid) in
+              if snap land 1 = 1 then
+                (* Inside an operation: wait for progress. *)
+                let rec spin () =
+                  if Sched.finished sched tid || Sched.crashed sched tid then
+                    (* A crashed thread never progresses; a finished one
+                       holds no references. Crashed threads block epoch
+                       reclamation forever (the unbounded-leak failure
+                       mode). *)
+                    ok := not (Sched.crashed sched tid)
+                  else if s.timestamps.(tid) <> snap then ()
+                  else if Sched.now sched > deadline then ok := false
+                  else begin
+                    Sched.consume sched costs.load;
+                    spin ()
+                  end
+                in
                 spin ()
-              end
-            in
-            spin ()
-        end)
-      s.registered;
+            end)
+          s.registered);
     s.stats.Guard.stall_cycles <-
       s.stats.Guard.stall_cycles + (Sched.now sched - t0);
     Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
@@ -99,14 +105,19 @@ module Hooks = struct
     Trace.span_begin (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
       Trace.Reclaim "scan" (fun () -> Printf.sprintf "pending=%d" pending);
     s.stats.Guard.scans <- s.stats.Guard.scans + 1;
-    if wait_for_grace th then begin
-      Vec.iter
-        (fun addr ->
-          Tsx.free s.rt.Guard.tsx addr;
-          Guard.note_free s.stats ~now:(Sched.now sched) addr)
-        th.buffer;
-      Vec.clear th.buffer
-    end;
+    let profile = Sched.profile sched in
+    Profile.push_mode profile ~tid:th.tid Profile.Reclaim_scan;
+    Fun.protect
+      ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
+      (fun () ->
+        if wait_for_grace th then begin
+          Vec.iter
+            (fun addr ->
+              Tsx.free s.rt.Guard.tsx addr;
+              Guard.note_free s.stats ~now:(Sched.now sched) addr)
+            th.buffer;
+          Vec.clear th.buffer
+        end);
     Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
       Trace.Reclaim "scan" (fun () ->
         Printf.sprintf "freed=%d held=%d"

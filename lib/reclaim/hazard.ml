@@ -105,25 +105,30 @@ module Hooks = struct
     Trace.span_begin (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
       Trace.Reclaim "scan" (fun () -> Printf.sprintf "pending=%d" pending);
     s.stats.Guard.scans <- s.stats.Guard.scans + 1;
-    let protected_set = Hashtbl.create 64 in
-    List.iter
-      (fun tid ->
-        for slot = 0 to slots_per_thread - 1 do
-          let p = s.hazards.(tid).(slot) in
-          Sched.consume sched costs.load;
-          s.stats.Guard.scan_words <- s.stats.Guard.scan_words + 1;
-          if p <> 0 then Hashtbl.replace protected_set p ()
-        done)
-      s.registered;
-    Vec.filter_in_place
-      (fun addr ->
-        if Hashtbl.mem protected_set addr then true
-        else begin
-          Tsx.free s.rt.Guard.tsx addr;
-          Guard.note_free s.stats ~now:(Sched.now sched) addr;
-          false
-        end)
-      th.buffer;
+    let profile = Sched.profile sched in
+    Profile.push_mode profile ~tid:th.tid Profile.Reclaim_scan;
+    Fun.protect
+      ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
+      (fun () ->
+        let protected_set = Hashtbl.create 64 in
+        List.iter
+          (fun tid ->
+            for slot = 0 to slots_per_thread - 1 do
+              let p = s.hazards.(tid).(slot) in
+              Sched.consume sched costs.load;
+              s.stats.Guard.scan_words <- s.stats.Guard.scan_words + 1;
+              if p <> 0 then Hashtbl.replace protected_set p ()
+            done)
+          s.registered;
+        Vec.filter_in_place
+          (fun addr ->
+            if Hashtbl.mem protected_set addr then true
+            else begin
+              Tsx.free s.rt.Guard.tsx addr;
+              Guard.note_free s.stats ~now:(Sched.now sched) addr;
+              false
+            end)
+          th.buffer);
     Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
       Trace.Reclaim "scan" (fun () ->
         Printf.sprintf "freed=%d held=%d"

@@ -20,6 +20,10 @@ type thread = {
   sib : int; (* SMT sibling lcore, -1 if none (cached from the topology) *)
   mutable state : state;
   mutable slice_used : int;
+  mutable consumed : int;
+      (* total cycles this thread advanced its lcore clock by — the
+         scheduler's own ledger, kept independent of Profile's accounting
+         so the conservation invariant compares two separate sums *)
   rng : Rng.t;
 }
 
@@ -30,6 +34,7 @@ type t = {
   ht_penalty_pct : int;
   rng : Rng.t;
   trace : Trace.t;
+  profile : Profile.t;
   mutable clocks : int array; (* per lcore *)
   mutable threads : thread list; (* reversed during registration *)
   mutable n_registered : int;
@@ -50,7 +55,8 @@ type t = {
 
 let create ?(topology = Topology.create ()) ?(costs = Costs.default)
     ?(quantum = 50_000) ?(ht_penalty_pct = 140)
-    ?(trace = Trace.create ~enabled:false ()) ~seed () =
+    ?(trace = Trace.create ~enabled:false ())
+    ?(profile = Profile.create ()) ~seed () =
   let n = Topology.lcores topology in
   {
     topo = topology;
@@ -59,6 +65,7 @@ let create ?(topology = Topology.create ()) ?(costs = Costs.default)
     ht_penalty_pct;
     rng = Rng.create ~seed;
     trace;
+    profile;
     clocks = Array.make n 0;
     threads = [];
     n_registered = 0;
@@ -75,6 +82,7 @@ let costs t = t.costs
 let topology t = t.topo
 let rng t = t.rng
 let trace t = t.trace
+let profile t = t.profile
 
 let add_thread t body =
   assert (not t.started);
@@ -87,6 +95,7 @@ let add_thread t body =
       sib = Topology.sibling_ix t.topo lcore;
       state = Not_started body;
       slice_used = 0;
+      consumed = 0;
       rng = Rng.split t.rng;
     }
   in
@@ -132,6 +141,11 @@ let sibling_active t tid =
   let sib = t.arr.(tid).sib in
   sib >= 0 && t.live_on.(sib) > 0
 
+let thread_consumed t tid = t.arr.(tid).consumed
+
+let consumed_by_thread t =
+  Array.map (fun th -> th.consumed) t.arr
+
 let crashed t tid = t.arr.(tid).state = Crashed
 let finished t tid = t.arr.(tid).state = Finished
 let context_switches t = t.context_switches
@@ -166,6 +180,8 @@ let consume t cost =
   in
   t.clocks.(th.lcore) <- t.clocks.(th.lcore) + cost;
   th.slice_used <- th.slice_used + cost;
+  th.consumed <- th.consumed + cost;
+  Profile.charge t.profile ~tid:th.tid cost;
   perform (Consume cost)
 
 (* Pick the runnable thread whose lcore clock is minimal.  Queue heads are
@@ -192,6 +208,8 @@ let maybe_preempt t th =
     fire_preempt t th.tid;
     t.context_switches <- t.context_switches + 1;
     t.clocks.(th.lcore) <- t.clocks.(th.lcore) + t.costs.context_switch;
+    th.consumed <- th.consumed + t.costs.context_switch;
+    Profile.charge_switch t.profile ~tid:th.tid t.costs.context_switch;
     Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
       "context-switch" (fun () ->
         Printf.sprintf "lcore=%d runnable=%d" th.lcore

@@ -27,6 +27,7 @@ val create :
   ?quantum:int ->
   ?ht_penalty_pct:int ->
   ?trace:Trace.t ->
+  ?profile:Profile.t ->
   seed:int ->
   unit ->
   t
@@ -34,7 +35,9 @@ val create :
     [ht_penalty_pct] is the percentage cost multiplier applied when both SMT
     siblings are active (default 140, i.e. 1.4x).  [trace] is the event
     sink shared by every layer built on this scheduler (default: a disabled
-    trace, so all instrumentation is free). *)
+    trace, so all instrumentation is free).  [profile] is the
+    cycle-attribution ledger; every {!consume} and preemption charge is
+    mirrored into it (default: disabled, all charges free). *)
 
 val costs : t -> Costs.t
 val topology : t -> Topology.t
@@ -45,6 +48,11 @@ val trace : t -> Trace.t
 (** The machine-wide event trace.  The scheduler emits [Sched]-category
     events (preempt, context-switch, crash, finish); the HTM, reclamation,
     and engine layers reach the same sink through this accessor. *)
+
+val profile : t -> Profile.t
+(** The cycle-attribution profiler.  The scheduler is its only charge
+    site; upper layers annotate it (txn boundaries, modes, coherence)
+    through this accessor. *)
 
 val add_thread : t -> (int -> unit) -> int
 (** [add_thread t body] registers a thread; [body] receives the thread id.
@@ -99,6 +107,15 @@ val sibling_active : t -> int -> bool
 
 val context_switches : t -> int
 (** Total preemptions performed so far. *)
+
+val thread_consumed : t -> int -> int
+(** Total cycles thread [tid] has advanced its core's clock by (consume
+    charges plus context-switch overhead attributed to it).  The
+    scheduler's own ledger, independent of {!Profile} accounting — the
+    conservation test compares the two.  Only valid after {!run} starts. *)
+
+val consumed_by_thread : t -> int array
+(** {!thread_consumed} for every registered thread, indexed by tid. *)
 
 val n_threads : t -> int
 (** Number of registered threads (valid before and after {!run}). *)

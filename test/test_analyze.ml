@@ -1,0 +1,220 @@
+(* Offline analyzer: JSON reader round-trips, tolerance-gated diffs, and
+   the committed golden artifacts.
+
+   The goldens pin the full result-JSON format for two representative
+   runs (list/StackTrack and queue/Epoch).  Re-running those
+   configurations must reproduce the files byte-for-byte — this is the
+   guarantee that lets CI diff artifacts across commits and lets the
+   profiler PR claim it changed nothing it didn't mean to. *)
+
+open St_harness
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Json_in                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_ast () =
+  let v =
+    Json_out.Obj
+      [
+        ("null", Json_out.Null);
+        ("bools", Json_out.List [ Json_out.Bool true; Json_out.Bool false ]);
+        ("ints", Json_out.List [ Json_out.Int 0; Json_out.Int (-42); Json_out.Int max_int ]);
+        ("float", Json_out.Float 1.25);
+        ("neg_float", Json_out.Float (-0.001));
+        ("string", Json_out.String "a \"quoted\" line\nwith\ttabs \\ and \x01 ctrl");
+        ("empty_obj", Json_out.Obj []);
+        ("empty_list", Json_out.List []);
+        ( "nested",
+          Json_out.Obj
+            [ ("xs", Json_out.List [ Json_out.Obj [ ("k", Json_out.Int 1) ] ]) ]
+        );
+      ]
+  in
+  let s = Json_out.to_string v in
+  Alcotest.(check bool) "parse (print v) = v" true (Json_in.parse s = v);
+  (* And printing the reparse is byte-stable. *)
+  Alcotest.(check string) "print is stable" s
+    (Json_out.to_string (Json_in.parse s))
+
+let test_parse_extras () =
+  Alcotest.(check bool)
+    "whitespace" true
+    (Json_in.parse " [ 1 , 2 ] " = Json_out.List [ Json_out.Int 1; Json_out.Int 2 ]);
+  Alcotest.(check bool)
+    "exponent is float" true
+    (Json_in.parse "1e3" = Json_out.Float 1000.);
+  Alcotest.(check bool)
+    "unicode escape" true
+    (Json_in.parse {|"Aé"|} = Json_out.String "A\xc3\xa9");
+  Alcotest.(check bool)
+    "surrogate pair" true
+    (Json_in.parse {|"😀"|} = Json_out.String "\xf0\x9f\x98\x80");
+  List.iter
+    (fun bad ->
+      match Json_in.parse bad with
+      | exception Json_in.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted invalid input %S" bad)
+    [ "{"; "[1,]"; "1 2"; "{\"a\" 1}"; "\"unterminated"; "nul"; "" ]
+
+let test_roundtrip_goldens () =
+  List.iter
+    (fun path ->
+      let s = String.trim (read_file path) in
+      Alcotest.(check string)
+        (path ^ " reparses byte-identically")
+        s
+        (Json_out.to_string (Json_in.parse s)))
+    [
+      "goldens/golden_run_st.json";
+      "goldens/golden_run_epoch.json";
+      "goldens/golden_fig1.json";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let doc = Json_in.parse (String.trim (read_file "goldens/golden_run_st.json"))
+
+let set_field path v doc =
+  let rec go keys doc =
+    match (keys, doc) with
+    | [ k ], Json_out.Obj fields ->
+        Json_out.Obj
+          (List.map (fun (k', v') -> if k' = k then (k', v) else (k', v')) fields)
+    | k :: rest, Json_out.Obj fields ->
+        Json_out.Obj
+          (List.map
+             (fun (k', v') -> if k' = k then (k', go rest v') else (k', v'))
+             fields)
+    | _ -> doc
+  in
+  go path doc
+
+let test_diff_identity () =
+  Alcotest.(check int) "no drift vs self" 0 (List.length (Analyze.diff doc doc))
+
+let test_diff_detects_drift () =
+  let drifted = set_field [ "total_ops" ] (Json_out.Int 400) doc in
+  (match Analyze.diff doc drifted with
+  | [ d ] ->
+      Alcotest.(check string) "path" "total_ops" d.Analyze.path;
+      Alcotest.(check bool) "rel positive" true (d.Analyze.rel > 0.)
+  | ds -> Alcotest.failf "expected 1 drift, got %d" (List.length ds));
+  (* Within tolerance: absorbed. *)
+  let tols = { Analyze.default = 0.; rules = [ ("total_ops", 0.5) ] } in
+  Alcotest.(check int) "rule absorbs" 0
+    (List.length (Analyze.diff ~tols doc drifted));
+  (* default-tol applies everywhere. *)
+  let tols = { Analyze.default = 0.5; rules = [] } in
+  Alcotest.(check int) "default absorbs" 0
+    (List.length (Analyze.diff ~tols doc drifted))
+
+let test_diff_subtree_rules () =
+  let drifted =
+    set_field [ "htm"; "aborts"; "conflict" ] (Json_out.Int 1_000) doc
+  in
+  (* Subtree rule covers nested metrics... *)
+  let tols = { Analyze.default = 0.; rules = [ ("htm", infinity) ] } in
+  Alcotest.(check int) "subtree rule" 0
+    (List.length (Analyze.diff ~tols doc drifted));
+  (* ...a longer rule overrides a shorter one... *)
+  let tols =
+    {
+      Analyze.default = 0.;
+      rules = [ ("htm", infinity); ("htm.aborts.conflict", 0.) ];
+    }
+  in
+  Alcotest.(check int) "longest rule wins" 1
+    (List.length (Analyze.diff ~tols doc drifted));
+  (* ...and a rule does not leak onto path prefixes that aren't
+     component boundaries. *)
+  Alcotest.(check (float 0.)) "no partial-component match" 0.
+    (Analyze.tol_for
+       { Analyze.default = 0.; rules = [ ("total", 1.) ] }
+       "total_ops")
+
+let test_diff_missing_and_type () =
+  let missing =
+    match doc with
+    | Json_out.Obj fields ->
+        Json_out.Obj (List.filter (fun (k, _) -> k <> "leaked") fields)
+    | v -> v
+  in
+  (match Analyze.diff doc missing with
+  | [ d ] ->
+      Alcotest.(check string) "missing path" "leaked" d.Analyze.path;
+      Alcotest.(check bool) "missing side" true (d.Analyze.b = None)
+  | ds -> Alcotest.failf "expected 1 drift, got %d" (List.length ds));
+  let retyped = set_field [ "leaked" ] (Json_out.String "none") doc in
+  (match Analyze.diff doc retyped with
+  | [ d ] -> Alcotest.(check bool) "type mismatch is drift" true (Float.is_nan d.Analyze.rel)
+  | ds -> Alcotest.failf "expected 1 drift, got %d" (List.length ds));
+  (* Ignoring the path suppresses even structural mismatches. *)
+  let tols = { Analyze.default = 0.; rules = [ ("leaked", infinity) ] } in
+  Alcotest.(check int) "infinity ignores missing" 0
+    (List.length (Analyze.diff ~tols doc missing))
+
+(* ------------------------------------------------------------------ *)
+(* Golden byte-identity                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror of the bin/stacktrack_bench.exe run-subcommand defaults that
+   produced the goldens. *)
+let golden_cfg structure scheme threads duration =
+  {
+    Experiment.default_config with
+    structure;
+    scheme;
+    threads;
+    duration;
+    key_range = 1024;
+    init_size = 512;
+    mutation_pct = 20;
+    seed = 0xC0FFEE;
+    n_buckets = 512;
+  }
+
+let test_golden_byte_identity () =
+  List.iter
+    (fun (golden, cfg) ->
+      let r = Experiment.run cfg in
+      Alcotest.(check string)
+        (golden ^ " byte-identical")
+        (read_file golden)
+        (Result_json.to_string r ^ "\n"))
+    [
+      ( "goldens/golden_run_st.json",
+        golden_cfg Experiment.List_s Experiment.stacktrack_default 8 300_000 );
+      ( "goldens/golden_run_epoch.json",
+        golden_cfg Experiment.Queue_s Experiment.Epoch 6 200_000 );
+    ]
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "json_in",
+        [
+          quick "ast roundtrip" test_roundtrip_ast;
+          quick "syntax corners" test_parse_extras;
+          quick "golden files reparse" test_roundtrip_goldens;
+        ] );
+      ( "diff",
+        [
+          quick "identity" test_diff_identity;
+          quick "drift + tolerance" test_diff_detects_drift;
+          quick "subtree rules" test_diff_subtree_rules;
+          quick "missing / retyped" test_diff_missing_and_type;
+        ] );
+      ( "goldens",
+        [ quick "re-run reproduces artifacts" test_golden_byte_identity ] );
+    ]
