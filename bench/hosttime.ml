@@ -14,7 +14,9 @@
                                      [target ...]
 
    Targets (default fig1-list): fig1-list fig1-skiplist fig2-queue fig2-hash
-   fig5-slowpath all — one experiment at [--threads].
+   fig5-slowpath scan-list all — one experiment at [--threads].  [scan-list]
+   is the fig1 list config with [max_free = 1], making reclamation scans
+   (not per-access instrumentation) the dominant cost.
 
    Sweep targets time the *whole figure sweep* (every thread point x every
    scheme column of the figure, Full thread grid at [--duration]) through
@@ -100,6 +102,19 @@ let base_config target =
           scheme =
             Stacktrack_s
               { Stacktrack.St_config.default with forced_slow_pct = 50 };
+        }
+  | "scan-list" ->
+      (* Scan-heavy slice: with [max_free = 1] every retirement triggers a
+         full stack scan, so this target times the [scan_and_free] path
+         (stack walks, owner lookups, hashed scan tables) rather than the
+         per-access engine path that fig1-list is dominated by. *)
+      Some
+        {
+          base with
+          structure = List_s;
+          key_range = 1024;
+          init_size = 512;
+          scheme = Stacktrack_s { Stacktrack.St_config.default with max_free = 1 };
         }
   | _ -> None
 

@@ -15,7 +15,8 @@
       primitive results (reads, CAS outcomes, allocations, random draws).
       Replay is free of virtual cycles and rebuilds the working registers
       and locals, so the thread resumes with exactly the state it had at
-      the split point.
+      the split point.  The log is an [int Vec.t] of {!Packed_log} entries
+      — pushed on every primitive access, it must not allocate.
 
     - {b Free procedure}: retirements are batched in a per-thread free set;
       when it exceeds [max_free] the thread runs a global scan over every
@@ -39,17 +40,6 @@ open St_reclaim
 
 type mode = Fast | Slow
 
-(* One log entry per [env] primitive invocation, in program order.  The
-   entries both make re-execution deterministic and mark the exact boundary
-   of the committed prefix. *)
-type entry =
-  | E_read of int
-  | E_write
-  | E_cas of bool
-  | E_rand of int
-  | E_alloc of Word.addr
-  | E_retire
-
 type t = {
   rt : Guard.runtime;
   cfg : St_config.t;
@@ -66,13 +56,16 @@ and thread = {
   predictor : Predictor.t;
   free_set : Word.addr Vec.t;
   refs_set : (int, int) Hashtbl.t; (* slow-path reference multiset *)
+  scan_scratch : (int, unit) Hashtbl.t; (* hashed-scan table, reused *)
+  seg_log : int Vec.t; (* packed segment log (Packed_log), reused across ops *)
   rng : Rng.t;
+  mutable env_cache : env option; (* the one env, reused across ops *)
 }
 
 and env = {
   th : thread;
-  op_id : int;
-  log : entry Vec.t;
+  mutable op_id : int;
+  log : int Vec.t; (* == th.seg_log *)
   mutable pos : int; (* next primitive index; < replay_to means replaying *)
   mutable replay_to : int;
   mutable committed : int; (* log length at last successful commit *)
@@ -113,7 +106,10 @@ let create_thread s ~tid =
       predictor = Predictor.create s.cfg;
       free_set = Vec.create ();
       refs_set = Hashtbl.create 32;
+      scan_scratch = Hashtbl.create 256;
+      seg_log = Vec.create ();
       rng = Sched.thread_rng s.rt.Guard.sched tid;
+      env_cache = None;
     }
   in
   s.threads.(tid) <- Some th;
@@ -134,9 +130,11 @@ let split_start env =
   env.steps <- 0;
   env.limit <-
     Predictor.limit env.th.predictor ~op_id:env.op_id ~split:env.split_idx;
-  Trace.span_begin (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
-    Trace.Engine "segment" (fun () ->
-      Printf.sprintf "split=%d limit=%d" env.split_idx env.limit);
+  let tr = trace env in
+  if Trace.on tr then
+    Trace.span_begin tr ~time:(Sched.now (sched env)) ~tid:env.th.tid
+      Trace.Engine "segment" (fun () ->
+        Printf.sprintf "split=%d limit=%d" env.split_idx env.limit);
   Tsx.start (tsx env);
   env.live <- true
 
@@ -160,9 +158,11 @@ let split_commit env =
   st.Scheme_stats.segments <- st.Scheme_stats.segments + 1;
   st.Scheme_stats.segment_len_sum <-
     st.Scheme_stats.segment_len_sum + env.steps;
-  Trace.span_end (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
-    Trace.Engine "segment" (fun () ->
-      Printf.sprintf "commit split=%d steps=%d" env.split_idx env.steps);
+  let tr = trace env in
+  if Trace.on tr then
+    Trace.span_end tr ~time:(Sched.now (sched env)) ~tid:env.th.tid
+      Trace.Engine "segment" (fun () ->
+        Printf.sprintf "commit split=%d steps=%d" env.split_idx env.steps);
   env.committed <- Vec.length env.log;
   env.split_idx <- env.split_idx + 1;
   env.seg_failures <- 0;
@@ -189,9 +189,11 @@ let register_slow env =
   if not env.slow_registered then begin
     env.slow_registered <- true;
     env.th.s.slow_path_count <- env.th.s.slow_path_count + 1;
-    Trace.instant (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
-      Trace.Engine "slow-path" (fun () ->
-        Printf.sprintf "active=%d" env.th.s.slow_path_count);
+    let tr = trace env in
+    if Trace.on tr then
+      Trace.instant tr ~time:(Sched.now (sched env)) ~tid:env.th.tid
+        Trace.Engine "slow-path" (fun () ->
+          Printf.sprintf "active=%d" env.th.s.slow_path_count);
     Profile.push_mode (Sched.profile (sched env)) ~tid:env.th.tid
       Profile.Slow_path;
     Sched.consume (sched env) (costs env).fetch_add;
@@ -223,9 +225,9 @@ let ensure_live env =
    arrange for the next invocation of the body to replay the prefix. *)
 let rollback env =
   for i = env.committed to Vec.length env.log - 1 do
-    match Vec.get env.log i with
-    | E_alloc a -> Heap.free (Guard.heap env.th.s.rt) ~tid:env.th.tid a
-    | E_read _ | E_write | E_cas _ | E_rand _ | E_retire -> ()
+    let e = Vec.get env.log i in
+    if Packed_log.tag e = Packed_log.tag_alloc then
+      Heap.free (Guard.heap env.th.s.rt) ~tid:env.th.tid (Packed_log.payload e)
   done;
   Vec.truncate env.log env.committed;
   env.replay_to <- env.committed;
@@ -233,20 +235,25 @@ let rollback env =
   env.live <- false;
   env.steps <- 0;
   Ctx.clear_working env.th.ctx;
-  Trace.instant (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
-    Trace.Engine "replay" (fun () ->
-      Printf.sprintf "prefix=%d" env.committed);
+  let tr = trace env in
+  if Trace.on tr then
+    Trace.instant tr ~time:(Sched.now (sched env)) ~tid:env.th.tid
+      Trace.Engine "replay" (fun () ->
+        Printf.sprintf "prefix=%d" env.committed);
   env.th.s.st.Scheme_stats.replays <- env.th.s.st.Scheme_stats.replays + 1
 
 let on_hw_abort env (reason : Htm_stats.abort_reason) =
   Predictor.on_abort env.th.predictor ~op_id:env.op_id ~split:env.split_idx;
   env.seg_failures <- env.seg_failures + 1;
-  if env.live then
-    Trace.span_end (trace env) ~time:(Sched.now (sched env)) ~tid:env.th.tid
-      Trace.Engine "segment" (fun () ->
-        Printf.sprintf "abort:%s split=%d failures=%d"
-          (Htm_stats.reason_to_string reason)
-          env.split_idx env.seg_failures);
+  if env.live then begin
+    let tr = trace env in
+    if Trace.on tr then
+      Trace.span_end tr ~time:(Sched.now (sched env)) ~tid:env.th.tid
+        Trace.Engine "segment" (fun () ->
+          Printf.sprintf "abort:%s split=%d failures=%d"
+            (Htm_stats.reason_to_string reason)
+            env.split_idx env.seg_failures)
+  end;
   (* Exponential backoff on contention: retrying instantly against a hot
      line just feeds the doom-replay storm. *)
   let cap = env.th.s.cfg.St_config.conflict_backoff in
@@ -267,6 +274,7 @@ let on_hw_abort env (reason : Htm_stats.abort_reason) =
 
 exception Replay_mismatch
 
+(* Next packed entry of the committed prefix; callers check the tag. *)
 let replay_entry env =
   let e = Vec.get env.log env.pos in
   env.pos <- env.pos + 1;
@@ -278,20 +286,24 @@ let replay_entry env =
 
 let refs_key env v =
   let p = Word.unmark v in
-  match Heap.base_of (Guard.heap env.th.s.rt) p with Some b -> b | None -> v
+  let b = Heap.owner_of (Guard.heap env.th.s.rt) p in
+  if b <> 0 then b else v
 
 let refs_add env v =
   let key = refs_key env v in
-  let n = Option.value ~default:0 (Hashtbl.find_opt env.th.refs_set key) in
+  let n = match Hashtbl.find env.th.refs_set key with
+    | n -> n
+    | exception Not_found -> 0
+  in
   Hashtbl.replace env.th.refs_set key (n + 1);
   Sched.consume (sched env) (costs env).store
 
 let refs_remove env v =
   let key = refs_key env v in
-  match Hashtbl.find_opt env.th.refs_set key with
-  | Some n when n > 1 -> Hashtbl.replace env.th.refs_set key (n - 1)
-  | Some _ -> Hashtbl.remove env.th.refs_set key
-  | None -> ()
+  match Hashtbl.find env.th.refs_set key with
+  | n when n > 1 -> Hashtbl.replace env.th.refs_set key (n - 1)
+  | _ -> Hashtbl.remove env.th.refs_set key
+  | exception Not_found -> ()
 
 let refs_clear env =
   let n = Hashtbl.length env.th.refs_set in
@@ -320,61 +332,57 @@ let rec slow_read_raw env addr =
 
 let read env addr =
   if replaying env then begin
-    match replay_entry env with
-    | E_read v ->
-        Ctx.note_load env.th.ctx v;
-        v
-    | _ -> raise Replay_mismatch
+    let e = replay_entry env in
+    if Packed_log.tag e <> Packed_log.tag_read then raise Replay_mismatch;
+    let v = Packed_log.payload e in
+    Ctx.note_load env.th.ctx v;
+    v
   end
   else begin
     ensure_live env;
-    let v =
-      match env.mode with
-      | Fast ->
-          checkpoint_pre env;
-          let v = Tsx.read (tsx env) addr in
-          Ctx.note_load env.th.ctx v;
-          Vec.push env.log (E_read v);
-          env.pos <- env.pos + 1;
-          checkpoint_post env;
-          v
-      | Slow ->
-          let v = slow_read_raw env addr in
-          Ctx.note_load env.th.ctx v;
-          Vec.push env.log (E_read v);
-          env.pos <- env.pos + 1;
-          v
-    in
-    v
+    match env.mode with
+    | Fast ->
+        checkpoint_pre env;
+        let v = Tsx.read (tsx env) addr in
+        Ctx.note_load env.th.ctx v;
+        Vec.push env.log (Packed_log.read v);
+        env.pos <- env.pos + 1;
+        checkpoint_post env;
+        v
+    | Slow ->
+        let v = slow_read_raw env addr in
+        Ctx.note_load env.th.ctx v;
+        Vec.push env.log (Packed_log.read v);
+        env.pos <- env.pos + 1;
+        v
   end
 
 let write env addr v =
   if replaying env then begin
-    match replay_entry env with
-    | E_write -> ()
-    | _ -> raise Replay_mismatch
+    let e = replay_entry env in
+    if Packed_log.tag e <> Packed_log.tag_write then raise Replay_mismatch
   end
   else begin
     ensure_live env;
-    (match env.mode with
+    match env.mode with
     | Fast ->
         checkpoint_pre env;
         Tsx.write (tsx env) addr v;
-        Vec.push env.log E_write;
+        Vec.push env.log Packed_log.write;
         env.pos <- env.pos + 1;
         checkpoint_post env
     | Slow ->
         ignore (slow_read_raw env addr);
         Tsx.nt_write (tsx env) addr v;
-        Vec.push env.log E_write;
-        env.pos <- env.pos + 1)
+        Vec.push env.log Packed_log.write;
+        env.pos <- env.pos + 1
   end
 
 let cas env addr ~expect v =
   if replaying env then begin
-    match replay_entry env with
-    | E_cas ok -> ok
-    | _ -> raise Replay_mismatch
+    let e = replay_entry env in
+    if Packed_log.tag e <> Packed_log.tag_cas then raise Replay_mismatch;
+    Packed_log.cas_ok e
   end
   else begin
     ensure_live env;
@@ -382,7 +390,7 @@ let cas env addr ~expect v =
     | Fast ->
         checkpoint_pre env;
         let ok = Tsx.nt_cas (tsx env) addr ~expect v in
-        Vec.push env.log (E_cas ok);
+        Vec.push env.log (Packed_log.cas ok);
         env.pos <- env.pos + 1;
         (* Make a winning CAS durable at once (see
            St_config.commit_after_cas); if the commit itself is doomed the
@@ -396,7 +404,7 @@ let cas env addr ~expect v =
     | Slow ->
         ignore (slow_read_raw env addr);
         let ok = Tsx.nt_cas (tsx env) addr ~expect v in
-        Vec.push env.log (E_cas ok);
+        Vec.push env.log (Packed_log.cas ok);
         env.pos <- env.pos + 1;
         ok
   end
@@ -430,26 +438,26 @@ let block env =
 
 let rand env bound =
   if replaying env then begin
-    match replay_entry env with
-    | E_rand v -> v
-    | _ -> raise Replay_mismatch
+    let e = replay_entry env in
+    if Packed_log.tag e <> Packed_log.tag_rand then raise Replay_mismatch;
+    Packed_log.payload e
   end
   else begin
     let v = Rng.int env.th.rng bound in
-    Vec.push env.log (E_rand v);
+    Vec.push env.log (Packed_log.rand v);
     env.pos <- env.pos + 1;
     v
   end
 
 let alloc env ~size =
   if replaying env then begin
-    match replay_entry env with
-    | E_alloc a -> a
-    | _ -> raise Replay_mismatch
+    let e = replay_entry env in
+    if Packed_log.tag e <> Packed_log.tag_alloc then raise Replay_mismatch;
+    Packed_log.payload e
   end
   else begin
     let a = Tsx.alloc (tsx env) ~size in
-    Vec.push env.log (E_alloc a);
+    Vec.push env.log (Packed_log.alloc a);
     env.pos <- env.pos + 1;
     a
   end
@@ -460,14 +468,15 @@ let alloc env ~size =
 
 (* Does exposed word [w] reference the object based at [ptr]?  Resolves
    marked and interior pointers through the heap's object-extent table
-   (§5.5: "hidden" pointers). *)
+   (§5.5: "hidden" pointers) via the option-free [owner_of] query — this
+   predicate runs once per exposed word per pending pointer per scan. *)
 let word_matches heap ~ptr w =
   w = ptr
   ||
   let p = Word.unmark w in
   p <> w && p = ptr
   ||
-  (p > ptr && Heap.base_of heap p = Some ptr)
+  (p > ptr && Heap.owner_of heap p = ptr)
 
 (* Inspect one thread's exposed stack and registers for [ptr], with the
    splits/oper-counter consistency protocol: if the thread commits a split
@@ -539,20 +548,23 @@ let scan_and_free_plain th =
     th.free_set
 
 (* §5.2 optimisation: scan all stacks once into a hash table of referenced
-   object bases, then test each free-set pointer against it. *)
+   object bases, then test each free-set pointer against it.  The table is
+   the thread's reusable scratch ([Hashtbl.clear] keeps its bucket array),
+   so a scan allocates nothing beyond genuine table growth. *)
 let scan_and_free_hashed th =
   let s = th.s in
   let sched = s.rt.Guard.sched in
   let costs = Sched.costs sched in
   let heap = Guard.heap s.rt in
-  let table = Hashtbl.create 256 in
+  let table = th.scan_scratch in
+  Hashtbl.clear table;
   let add_word w =
     s.st.Scheme_stats.stack_words <- s.st.Scheme_stats.stack_words + 1;
     Sched.consume sched costs.scan_word;
     let p = Word.unmark w in
-    match Heap.base_of heap p with
-    | Some b -> Hashtbl.replace table b ()
-    | None -> if w <> 0 then Hashtbl.replace table w ()
+    let b = Heap.owner_of heap p in
+    if b <> 0 then Hashtbl.replace table b ()
+    else if w <> 0 then Hashtbl.replace table w ()
   in
   Activity.iter s.rt.Guard.activity (fun ctx ->
       if Ctx.tid ctx <> th.tid && Ctx.op_active ctx then begin
@@ -595,8 +607,9 @@ let scan_and_free th =
   let sched = s.rt.Guard.sched in
   let tr = Sched.trace sched in
   let pending = Vec.length th.free_set in
-  Trace.span_begin tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim "scan"
-    (fun () -> Printf.sprintf "pending=%d" pending);
+  if Trace.on tr then
+    Trace.span_begin tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+      "scan" (fun () -> Printf.sprintf "pending=%d" pending);
   s.st.Scheme_stats.scans <- s.st.Scheme_stats.scans + 1;
   s.stats.Guard.scans <- s.stats.Guard.scans + 1;
   let profile = Sched.profile sched in
@@ -609,20 +622,21 @@ let scan_and_free th =
       if s.cfg.St_config.hash_scan then scan_and_free_hashed th
       else scan_and_free_plain th);
   s.stats.Guard.scan_words <- s.st.Scheme_stats.stack_words;
-  Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim "scan"
-    (fun () ->
-      Printf.sprintf "freed=%d held=%d"
-        (pending - Vec.length th.free_set)
-        (Vec.length th.free_set))
+  if Trace.on tr then
+    Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim "scan"
+      (fun () ->
+        Printf.sprintf "freed=%d held=%d"
+          (pending - Vec.length th.free_set)
+          (Vec.length th.free_set))
 
 let free_impl th addr =
-  Trace.instant
-    (Sched.trace th.s.rt.Guard.sched)
-    ~time:(Sched.now th.s.rt.Guard.sched)
-    ~tid:th.tid Trace.Reclaim "retire" (fun () ->
-      Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.free_set + 1));
-  Guard.note_retire th.s.stats
-    ~now:(Sched.now th.s.rt.Guard.sched) addr;
+  let sched = th.s.rt.Guard.sched in
+  let tr = Sched.trace sched in
+  if Trace.on tr then
+    Trace.instant tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+      "retire" (fun () ->
+        Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.free_set + 1));
+  Guard.note_retire th.s.stats ~now:(Sched.now sched) addr;
   Vec.push th.free_set addr;
   if Vec.length th.free_set > th.s.cfg.St_config.max_free then
     scan_and_free th
@@ -632,13 +646,12 @@ let free_impl th addr =
    a fresh segment. *)
 let retire env addr =
   if replaying env then begin
-    match replay_entry env with
-    | E_retire -> ()
-    | _ -> raise Replay_mismatch
+    let e = replay_entry env in
+    if Packed_log.tag e <> Packed_log.tag_retire then raise Replay_mismatch
   end
   else begin
     ensure_live env;
-    Vec.push env.log E_retire;
+    Vec.push env.log Packed_log.retire;
     env.pos <- env.pos + 1;
     (match env.mode with
     | Fast -> split_commit env (* may raise Abort; the entry is rolled back *)
@@ -670,10 +683,12 @@ let finish_op env =
         st.Scheme_stats.segments <- st.Scheme_stats.segments + 1;
         st.Scheme_stats.segment_len_sum <-
           st.Scheme_stats.segment_len_sum + env.steps;
-        Trace.span_end (trace env) ~time:(Sched.now (sched env))
-          ~tid:env.th.tid Trace.Engine "segment" (fun () ->
-            Printf.sprintf "commit-final split=%d steps=%d" env.split_idx
-              env.steps);
+        let tr = trace env in
+        if Trace.on tr then
+          Trace.span_end tr ~time:(Sched.now (sched env)) ~tid:env.th.tid
+            Trace.Engine "segment" (fun () ->
+              Printf.sprintf "commit-final split=%d steps=%d" env.split_idx
+                env.steps);
         env.live <- false
       end
   | Slow ->
@@ -685,28 +700,56 @@ let finish_op env =
   st.Scheme_stats.ops <- st.Scheme_stats.ops + 1;
   if env.mode = Fast then st.Scheme_stats.fast_ops <- st.Scheme_stats.fast_ops + 1
 
+(* One [env] per thread, reset at every operation start: a fresh record
+   (plus a fresh log vector) per operation was minor-heap traffic scaling
+   with the operation count, for state that is strictly thread-sequential. *)
+let reset_env env ~op_id ~mode =
+  Vec.clear env.log;
+  env.op_id <- op_id;
+  env.pos <- 0;
+  env.replay_to <- 0;
+  env.committed <- 0;
+  env.live <- false;
+  env.steps <- 0;
+  env.limit <- 0;
+  env.split_idx <- 0;
+  env.mode <- mode;
+  env.seg_failures <- 0;
+  env.slow_registered <- false;
+  env.region_depth <- 0
+
 let run_op th ~op_id f =
   let forced_slow =
     th.s.cfg.St_config.forced_slow_pct > 0
     && Rng.pct th.rng th.s.cfg.St_config.forced_slow_pct
   in
+  let mode = if forced_slow then Slow else Fast in
   let env =
-    {
-      th;
-      op_id;
-      log = Vec.create ();
-      pos = 0;
-      replay_to = 0;
-      committed = 0;
-      live = false;
-      steps = 0;
-      limit = 0;
-      split_idx = 0;
-      mode = (if forced_slow then Slow else Fast);
-      seg_failures = 0;
-      slow_registered = false;
-      region_depth = 0;
-    }
+    match th.env_cache with
+    | Some env ->
+        reset_env env ~op_id ~mode;
+        env
+    | None ->
+        let env =
+          {
+            th;
+            op_id;
+            log = th.seg_log;
+            pos = 0;
+            replay_to = 0;
+            committed = 0;
+            live = false;
+            steps = 0;
+            limit = 0;
+            split_idx = 0;
+            mode;
+            seg_failures = 0;
+            slow_registered = false;
+            region_depth = 0;
+          }
+        in
+        th.env_cache <- Some env;
+        env
   in
   Ctx.begin_operation th.ctx ~op_id;
   let rec attempt () =

@@ -408,13 +408,14 @@ let run cfg =
      (allocation sequence) number is the seed-deterministic object name. *)
   let owner_of_line line =
     let addr = line lsl cfg.cache.Cache.line_shift in
-    match Heap.base_of heap addr with
-    | None -> None
-    | Some base ->
-        let birth =
-          match Heap.birth_of heap base with Some b -> b | None -> 0
-        in
-        Some (Printf.sprintf "obj#%d@%d+%d" birth base (addr - base))
+    let base = Heap.owner_of heap addr in
+    if base = 0 then None
+    else begin
+      (* [birth_ix] is 1 + the externally visible 0-based birth number. *)
+      let bix = Heap.birth_ix heap base in
+      let birth = if bix = 0 then 0 else bix - 1 in
+      Some (Printf.sprintf "obj#%d@%d+%d" birth base (addr - base))
+    end
   in
   let profile_snap =
     if cfg.profile then

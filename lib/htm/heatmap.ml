@@ -14,10 +14,12 @@ type t = { enabled : bool; cells : (int, cell) Hashtbl.t }
 let create ?(enabled = false) () = { enabled; cells = Hashtbl.create 1024 }
 let enabled t = t.enabled
 
+(* Exception-style lookup: [find_opt] boxes a [Some] per call, and this
+   runs once per memory access when profiling is on. *)
 let cell t line =
-  match Hashtbl.find_opt t.cells line with
-  | Some c -> c
-  | None ->
+  match Hashtbl.find t.cells line with
+  | c -> c
+  | exception Not_found ->
       let c = { touches = 0; conflicts = 0; capacity = 0 } in
       Hashtbl.add t.cells line c;
       c

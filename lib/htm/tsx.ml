@@ -12,17 +12,32 @@ exception Abort of Htm_stats.abort_reason
    [but] hardware support is essential for performance" made measurable. *)
 type backend = Htm | Stm
 
+(* Transaction footprints are tiny (capacity-bounded at a few dozen cache
+   lines), so the per-txn sets are plain int vectors with linear membership
+   scans: on footprints this small a cache-resident linear pass beats the
+   polymorphic hashing that a [Hashtbl] charges on every single memory
+   access — and it allocates nothing.  The write buffer is a parallel
+   [w_addr]/[w_val] pair kept in insertion order; an address appears at most
+   once (later stores update in place), so commit application order is the
+   program's store order, which is unobservable through the heap. *)
 type txn = {
   owner : int;
-  lines : (int, unit) Hashtbl.t; (* union footprint, for capacity *)
-  read_lines : (int, unit) Hashtbl.t;
-  write_lines : (int, unit) Hashtbl.t;
+  lines : int Vec.t; (* union footprint, for capacity *)
+  read_lines : int Vec.t;
+  write_lines : int Vec.t;
   read_versions : (int, int) Hashtbl.t; (* STM: line -> version at 1st read *)
   mutable rv : int; (* STM: global-clock snapshot at transaction start *)
   set_occ : int array; (* distinct lines per cache set *)
-  writes : (int, int) Hashtbl.t; (* buffered stores *)
+  w_addr : int Vec.t; (* buffered stores, insertion order *)
+  w_val : int Vec.t;
   mutable doomed : Htm_stats.abort_reason option;
 }
+
+(* Preallocated [Some _] doom verdicts: dooming happens on hot access paths
+   and the reasons are constant constructors. *)
+let doomed_conflict = Some Htm_stats.Conflict
+let doomed_capacity = Some Htm_stats.Capacity
+let doomed_interrupt = Some Htm_stats.Interrupt
 
 let max_threads = 256
 
@@ -37,22 +52,32 @@ type t = {
   cache : Cache.t;
   backend : backend;
   txns : txn option array;
+  pool : txn option array;
+      (* Per-thread reusable transaction record (and its [Some] box):
+         [start] resets it instead of allocating five fresh tables per
+         segment.  [txns.(tid)] aliases [pool.(tid)] while active. *)
   stats : Htm_stats.t array;
   mutable line_versions : (int, int) Hashtbl.t; (* STM per-line versions *)
   mutable stm_clock : int; (* STM global version clock (TL2) *)
   evict_rng : Rng.t;
-  (* MESI-ish per-line coherence state: last owner and dirtiness.  A read
-     of a remotely-dirty line, or a write to a line anyone else touched
-     last, pays the coherence-miss latency. *)
-  line_state : (int, int * bool) Hashtbl.t; (* line -> (owner tid, dirty) *)
+  (* MESI-ish per-line coherence state: last owner and dirtiness, packed as
+     [owner * 2 + dirty], [-1] = never touched.  A read of a remotely-dirty
+     line, or a write to a line anyone else touched last, pays the
+     coherence-miss latency.  Heap addresses are dense and small (they
+     start at [Word.heap_base = 0x1000] and are recycled through free
+     lists), so the table is a flat array indexed by line — consulted on
+     every memory access, where it replaces a hash lookup with a load. *)
+  mutable line_state : int array; (* line -> owner tid * 2 + dirty, -1 *)
   (* Conflict index: for each line with speculative state, the set of
      threads whose *active* transaction holds it in its read (resp. write)
-     set.  Maintained when a transaction first touches a line and cleared
-     when it commits or aborts, so [doom_conflicting] visits only the
-     transactions actually on the conflicting line instead of sweeping all
-     [max_threads] slots on every memory access. *)
-  line_readers : (int, int array) Hashtbl.t;
-  line_writers : (int, int array) Hashtbl.t;
+     set, as flat bitset arrays of [bitset_words] words per line (all-zero
+     = no holder).  Maintained when a transaction first touches a line and
+     cleared when it commits or aborts, so [doom_conflicting] visits only
+     the transactions actually on the conflicting line instead of sweeping
+     all [max_threads] slots on every memory access. *)
+  mutable line_readers : int array;
+  mutable line_writers : int array;
+  mutable lines_cap : int; (* lines covered by the three flat tables *)
   (* Active-transaction registry, one list per logical core, kept sorted by
      ascending owner tid.  [pressure_evict] consults only the SMT sibling's
      list; the ascending order reproduces the RNG draw sequence of the old
@@ -75,13 +100,15 @@ let create ?(cache = Cache.create ()) ?(backend = Htm)
       backend;
       heatmap;
       txns = Array.make max_threads None;
+      pool = Array.make max_threads None;
       line_versions = Hashtbl.create 4096;
       stm_clock = 0;
       stats = Array.init max_threads (fun _ -> Htm_stats.create ());
       evict_rng = Rng.split (Sched.rng sched);
-      line_state = Hashtbl.create 4096;
-      line_readers = Hashtbl.create 4096;
-      line_writers = Hashtbl.create 1024;
+      line_state = Array.make 4096 (-1);
+      line_readers = Array.make (4096 * bitset_words) 0;
+      line_writers = Array.make (4096 * bitset_words) 0;
+      lines_cap = 4096;
       active = Array.make (Topology.lcores (Sched.topology sched)) [];
       tally = Hashtbl.create 64;
     }
@@ -94,9 +121,11 @@ let create ?(cache = Cache.create ()) ?(backend = Htm)
     Sched.on_preempt sched (fun tid ->
         match t.txns.(tid) with
         | Some txn ->
-            txn.doomed <- Some Htm_stats.Interrupt;
-            Trace.instant (Sched.trace sched) ~time:(Sched.now sched) ~tid
-              Trace.Htm "doom" (fun () -> "interrupt")
+            txn.doomed <- doomed_interrupt;
+            let tr = Sched.trace sched in
+            if Trace.on tr then
+              Trace.instant tr ~time:(Sched.now sched) ~tid Trace.Htm "doom"
+                (fun () -> "interrupt")
         | None -> ());
   t
 
@@ -124,88 +153,106 @@ let my_txn t = t.txns.(tid t)
 
 let in_txn t = my_txn t <> None
 
-let footprint txn = Hashtbl.length txn.lines
+let footprint txn = Vec.length txn.lines
 
 let data_set_lines t = match my_txn t with Some x -> footprint x | None -> 0
 
+(* Linear membership scan over a small int vector (see the [txn] comment:
+   footprints are capacity-bounded, and this runs on every access). *)
+let vec_mem v x =
+  let n = Vec.length v in
+  let i = ref 0 in
+  while !i < n && Vec.get v !i <> x do incr i done;
+  !i < n
+
+(* ---- Flat per-line tables ---------------------------------------- *)
+
+(* Grow the three line-indexed tables to cover [line].  Called once per
+   access with the line about to be touched; growth itself is rare (the
+   address space is bounded by the live heap, which recycles). *)
+let ensure_lines t line =
+  if line >= t.lines_cap then begin
+    let cap = ref t.lines_cap in
+    while line >= !cap do
+      cap := !cap * 2
+    done;
+    let cap' = !cap in
+    let ls = Array.make cap' (-1) in
+    Array.blit t.line_state 0 ls 0 t.lines_cap;
+    let lr = Array.make (cap' * bitset_words) 0 in
+    Array.blit t.line_readers 0 lr 0 (t.lines_cap * bitset_words);
+    let lw = Array.make (cap' * bitset_words) 0 in
+    Array.blit t.line_writers 0 lw 0 (t.lines_cap * bitset_words);
+    t.line_state <- ls;
+    t.line_readers <- lr;
+    t.line_writers <- lw;
+    t.lines_cap <- cap'
+  end
+
 (* ---- Conflict-index maintenance ---------------------------------- *)
 
-let set_bit tbl line tid =
-  let bs =
-    match Hashtbl.find_opt tbl line with
-    | Some bs -> bs
-    | None ->
-        let bs = Array.make bitset_words 0 in
-        Hashtbl.add tbl line bs;
-        bs
-  in
-  let w = tid / bits_per_word in
-  bs.(w) <- bs.(w) lor (1 lsl (tid mod bits_per_word))
+let set_bit flat line tid =
+  let ix = (line * bitset_words) + (tid / bits_per_word) in
+  flat.(ix) <- flat.(ix) lor (1 lsl (tid mod bits_per_word))
 
-let clear_bit tbl line tid =
-  match Hashtbl.find_opt tbl line with
-  | None -> ()
-  | Some bs ->
-      let w = tid / bits_per_word in
-      bs.(w) <- bs.(w) land lnot (1 lsl (tid mod bits_per_word));
-      if Array.for_all (fun x -> x = 0) bs then Hashtbl.remove tbl line
-
-(* Visit set bits in ascending tid order. *)
-let iter_bits bs f =
-  for w = 0 to bitset_words - 1 do
-    let x = ref bs.(w) in
-    let tid = ref (w * bits_per_word) in
-    while !x <> 0 do
-      if !x land 1 <> 0 then f !tid;
-      x := !x lsr 1;
-      incr tid
-    done
-  done
+let clear_bit flat line tid =
+  let ix = (line * bitset_words) + (tid / bits_per_word) in
+  flat.(ix) <- flat.(ix) land lnot (1 lsl (tid mod bits_per_word))
 
 (* First touch of [line] by [txn]'s read (resp. write) set: record it in
    the transaction and in the per-line reverse index. *)
 let note_read t txn line =
-  if not (Hashtbl.mem txn.read_lines line) then begin
-    Hashtbl.replace txn.read_lines line ();
+  if not (vec_mem txn.read_lines line) then begin
+    Vec.push txn.read_lines line;
     set_bit t.line_readers line txn.owner
   end
 
 let note_write t txn line =
-  if not (Hashtbl.mem txn.write_lines line) then begin
-    Hashtbl.replace txn.write_lines line ();
+  if not (vec_mem txn.write_lines line) then begin
+    Vec.push txn.write_lines line;
     set_bit t.line_writers line txn.owner
   end
 
-(* Registry of active transactions per lcore, ascending owner tid. *)
+(* Registry of active transactions per lcore, ascending owner tid.  Both
+   maintenance functions are top-level so the only allocation per segment
+   is the registry cons itself. *)
+let rec insert_sorted txn = function
+  | [] -> [ txn ]
+  | x :: _ as l when x.owner > txn.owner -> txn :: l
+  | x :: rest -> x :: insert_sorted txn rest
+
 let insert_active t txn =
   let lc = Sched.lcore_of t.sched txn.owner in
-  let rec ins = function
-    | [] -> [ txn ]
-    | x :: _ as l when x.owner > txn.owner -> txn :: l
-    | x :: rest -> x :: ins rest
-  in
-  t.active.(lc) <- ins t.active.(lc)
+  t.active.(lc) <- insert_sorted txn t.active.(lc)
+
+let rec remove_txn txn = function
+  | [] -> []
+  | x :: rest -> if x == txn then rest else x :: remove_txn txn rest
 
 (* Drop a discarded transaction from the registry and the conflict index.
    Called exactly once, when the transaction commits or aborts. *)
 let unindex t txn =
   let lc = Sched.lcore_of t.sched txn.owner in
-  t.active.(lc) <- List.filter (fun x -> x != txn) t.active.(lc);
-  Hashtbl.iter (fun line () -> clear_bit t.line_readers line txn.owner)
-    txn.read_lines;
-  Hashtbl.iter (fun line () -> clear_bit t.line_writers line txn.owner)
-    txn.write_lines
+  t.active.(lc) <- remove_txn txn t.active.(lc);
+  for i = 0 to Vec.length txn.read_lines - 1 do
+    clear_bit t.line_readers (Vec.get txn.read_lines i) txn.owner
+  done;
+  for i = 0 to Vec.length txn.write_lines - 1 do
+    clear_bit t.line_writers (Vec.get txn.write_lines i) txn.owner
+  done
 
 (* Discard the active transaction and deliver the abort to the caller. *)
 let do_abort t txn reason =
   t.txns.(txn.owner) <- None;
   unindex t txn;
   Htm_stats.record_abort t.stats.(txn.owner) reason;
-  Trace.span_end (trace t) ~time:(Sched.now t.sched) ~tid:txn.owner Trace.Htm
-    "txn" (fun () ->
-      Printf.sprintf "abort:%s lines=%d"
-        (Htm_stats.reason_to_string reason)
-        (Hashtbl.length txn.lines));
+  let tr = trace t in
+  if Trace.on tr then
+    Trace.span_end tr ~time:(Sched.now t.sched) ~tid:txn.owner Trace.Htm
+      "txn" (fun () ->
+        Printf.sprintf "abort:%s lines=%d"
+          (Htm_stats.reason_to_string reason)
+          (Vec.length txn.lines));
   (* The abort-handling latency itself is wasted work: charge it while the
      profiler still considers the transaction open, then resolve. *)
   Sched.consume t.sched (costs t).htm_abort;
@@ -220,23 +267,38 @@ let check_doomed t txn =
    makes this O(transactions on the line); a transaction holding the line
    in both sets is visited once by each pass but doomed (and tallied) only
    once, as in the old full scan. *)
+(* Doom every other active transaction whose bit is set for [line] in
+   [flat].  Bits are visited in ascending tid order (matching the old
+   per-line bitset walk); the loop is written without closures because it
+   sits on every memory access. *)
+let doom_from t ~me ~line flat =
+  let base = line * bitset_words in
+  for w = 0 to bitset_words - 1 do
+    let x = ref flat.(base + w) in
+    if !x <> 0 then begin
+      let other = ref (w * bits_per_word) in
+      while !x <> 0 do
+        (if !x land 1 <> 0 && !other <> me then
+           match t.txns.(!other) with
+           | Some txn when txn.doomed = None ->
+               txn.doomed <- doomed_conflict;
+               Heatmap.conflict t.heatmap line;
+               let n =
+                 match Hashtbl.find t.tally line with
+                 | n -> n
+                 | exception Not_found -> 0
+               in
+               Hashtbl.replace t.tally line (n + 1)
+           | _ -> ());
+        x := !x lsr 1;
+        incr other
+      done
+    end
+  done
+
 let doom_conflicting t ~me ~line ~against_readers =
-  let doom_from tbl =
-    match Hashtbl.find_opt tbl line with
-    | None -> ()
-    | Some bs ->
-        iter_bits bs (fun other ->
-            if other <> me then
-              match t.txns.(other) with
-              | Some txn when txn.doomed = None ->
-                  txn.doomed <- Some Htm_stats.Conflict;
-                  Heatmap.conflict t.heatmap line;
-                  Hashtbl.replace t.tally line
-                    (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally line))
-              | _ -> ())
-  in
-  doom_from t.line_writers;
-  if against_readers then doom_from t.line_readers
+  doom_from t ~me ~line t.line_writers;
+  if against_readers then doom_from t ~me ~line t.line_readers
 
 (* Cache-pressure eviction: every memory access can knock a speculative
    line out of the L1 it shares with the accessor — the victim transaction
@@ -245,24 +307,33 @@ let doom_conflicting t ~me ~line ~against_readers =
    interference (stack, metadata) a rare one.  Probability scales with the
    victim's footprint, so long transactions die first and the split-length
    predictor reacts exactly as on real TSX. *)
+(* Top-level rather than a local closure of [pressure_evict]: that closure
+   captured the environment and was allocated on every memory access. *)
+let consider_evict t ~me txn denom total_lines =
+  if txn.doomed = None then begin
+    let fp = footprint txn in
+    if fp > 0 && Rng.int t.evict_rng (total_lines * denom) < fp then begin
+      txn.doomed <- doomed_capacity;
+      let tr = trace t in
+      if Trace.on tr then
+        Trace.instant tr ~time:(Sched.now t.sched) ~tid:txn.owner Trace.Cache
+          "evict" (fun () -> Printf.sprintf "by=%d footprint=%d" me fp)
+    end
+  end
+
+let rec consider_siblings t ~me denom total_lines = function
+  | [] -> ()
+  | txn :: rest ->
+      if txn.owner <> me then consider_evict t ~me txn denom total_lines;
+      consider_siblings t ~me denom total_lines rest
+
 let pressure_evict t ~me =
   if t.backend = Stm then ()
-  else
+  else begin
     let total_lines = Cache.lines t.cache in
-    let consider txn denom =
-      if txn.doomed = None then begin
-        let fp = footprint txn in
-        if fp > 0 && Rng.int t.evict_rng (total_lines * denom) < fp then begin
-          txn.doomed <- Some Htm_stats.Capacity;
-          Trace.instant (trace t) ~time:(Sched.now t.sched) ~tid:txn.owner
-            Trace.Cache "evict" (fun () ->
-              Printf.sprintf "by=%d footprint=%d" me fp)
-        end
-      end
-    in
     (* Self-interference. *)
     (match t.txns.(me) with
-    | Some txn -> consider txn t.cache.Cache.self_evict_denom
+    | Some txn -> consider_evict t ~me txn t.cache.Cache.self_evict_denom total_lines
     | None -> ());
     (* Sibling interference: transactions whose logical core shares our L1.
        The registry list is ascending in owner tid, so the RNG draws happen
@@ -270,32 +341,31 @@ let pressure_evict t ~me =
     let my_lcore = Sched.lcore_of t.sched me in
     let sib = Topology.sibling_ix (Sched.topology t.sched) my_lcore in
     if sib >= 0 then
-      List.iter
-        (fun txn ->
-          if txn.owner <> me then
-            consider txn t.cache.Cache.sibling_evict_denom)
+      consider_siblings t ~me t.cache.Cache.sibling_evict_denom total_lines
         t.active.(sib)
+  end
 
 (* Coherence cost of touching [line]: reads miss on remotely-dirty lines
    (dirty-forward + downgrade); writes miss unless this thread already owns
    the line exclusively. *)
 let coherence_cost t ~me ~line ~is_write =
+  (* [st] = owner * 2 + dirty, or -1 when the line was never touched. *)
+  let st = t.line_state.(line) in
   let extra =
-    match Hashtbl.find_opt t.line_state line with
-    | None -> if is_write then 0 else 0
-    | Some (owner, dirty) ->
-        if is_write then if owner = me && dirty then 0 else (costs t).coherence_miss
-        else if dirty && owner <> me then (costs t).coherence_miss
-        else 0
+    if st < 0 then 0
+    else begin
+      let owner = st lsr 1 and dirty = st land 1 = 1 in
+      if is_write then
+        if owner = me && dirty then 0 else (costs t).coherence_miss
+      else if dirty && owner <> me then (costs t).coherence_miss
+      else 0
+    end
   in
-  (if is_write then Hashtbl.replace t.line_state line (me, true)
-   else
-     match Hashtbl.find_opt t.line_state line with
-     | Some (owner, true) when owner <> me ->
-         (* Dirty line downgraded to shared on a remote read. *)
-         Hashtbl.replace t.line_state line (me, false)
-     | None -> Hashtbl.replace t.line_state line (me, false)
-     | Some _ -> ());
+  if is_write then t.line_state.(line) <- (me lsl 1) lor 1
+  else if st < 0 || (st land 1 = 1 && st lsr 1 <> me) then
+    (* Never-seen line, or a dirty line downgraded to shared on a remote
+       read; a clean line (or our own dirty line) keeps its state. *)
+    t.line_state.(line) <- me lsl 1;
   extra
 
 let effective_ways t =
@@ -306,7 +376,7 @@ let effective_ways t =
 (* Track [line] in the transaction's footprint; abort on associativity
    overflow of its cache set. *)
 let track t txn line =
-  if not (Hashtbl.mem txn.lines line) then begin
+  if not (vec_mem txn.lines line) then begin
     if t.backend = Htm then begin
       let set = Cache.set_of t.cache line in
       let occ = txn.set_occ.(set) + 1 in
@@ -316,13 +386,15 @@ let track t txn line =
       end;
       txn.set_occ.(set) <- occ
     end;
-    Hashtbl.replace txn.lines line ()
+    Vec.push txn.lines line
   end
 
 (* STM helpers: a global per-line version clock bumped on every committed
    or non-transactional write; transactions validate their read versions. *)
 let line_version t line =
-  Option.value ~default:0 (Hashtbl.find_opt t.line_versions line)
+  match Hashtbl.find t.line_versions line with
+  | v -> v
+  | exception Not_found -> 0
 
 let bump_line_version t line =
   Hashtbl.replace t.line_versions line t.stm_clock
@@ -347,19 +419,39 @@ let start t =
   let me = tid t in
   if t.txns.(me) <> None then invalid_arg "Tsx.start: transaction active";
   let txn =
-    {
-      owner = me;
-      lines = Hashtbl.create 32;
-      read_lines = Hashtbl.create 32;
-      write_lines = Hashtbl.create 8;
-      read_versions = Hashtbl.create 32;
-      rv = t.stm_clock;
-      set_occ = Array.make t.cache.Cache.sets 0;
-      writes = Hashtbl.create 8;
-      doomed = None;
-    }
+    match t.pool.(me) with
+    | Some txn ->
+        Vec.clear txn.lines;
+        Vec.clear txn.read_lines;
+        Vec.clear txn.write_lines;
+        Vec.clear txn.w_addr;
+        Vec.clear txn.w_val;
+        (* Only the backend that populates each table pays its reset. *)
+        if t.backend = Htm then
+          Array.fill txn.set_occ 0 (Array.length txn.set_occ) 0
+        else Hashtbl.clear txn.read_versions;
+        txn.rv <- t.stm_clock;
+        txn.doomed <- None;
+        txn
+    | None ->
+        let txn =
+          {
+            owner = me;
+            lines = Vec.create ();
+            read_lines = Vec.create ();
+            write_lines = Vec.create ();
+            read_versions = Hashtbl.create 32;
+            rv = t.stm_clock;
+            set_occ = Array.make t.cache.Cache.sets 0;
+            w_addr = Vec.create ();
+            w_val = Vec.create ();
+            doomed = None;
+          }
+        in
+        t.pool.(me) <- Some txn;
+        txn
   in
-  t.txns.(me) <- Some txn;
+  t.txns.(me) <- t.pool.(me);
   insert_active t txn;
   t.stats.(me).starts <- t.stats.(me).starts + 1;
   Trace.span_begin (trace t) ~time:(Sched.now t.sched) ~tid:me Trace.Htm "txn"
@@ -367,10 +459,19 @@ let start t =
   Profile.txn_begin (profile t) ~tid:me;
   Sched.consume t.sched (costs t).htm_begin
 
+(* Index of [addr] in the write buffer, or -1.  Linear: the buffer holds at
+   most one slot per written address and segments write a handful. *)
+let write_index txn addr =
+  let n = Vec.length txn.w_addr in
+  let i = ref 0 in
+  while !i < n && Vec.get txn.w_addr !i <> addr do incr i done;
+  if !i < n then !i else -1
+
 let txn_read t txn addr =
   pressure_evict t ~me:txn.owner;
   check_doomed t txn;
   let line = Cache.line_of t.cache addr in
+  ensure_lines t line;
   Heatmap.touch t.heatmap line;
   track t txn line;
   note_read t txn line;
@@ -378,9 +479,9 @@ let txn_read t txn addr =
   | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:false
   | Stm -> stm_note_read t txn line);
   let v =
-    match Hashtbl.find_opt txn.writes addr with
-    | Some v -> v
-    | None -> Heap.read t.heap ~tid:txn.owner addr
+    let i = write_index txn addr in
+    if i >= 0 then Vec.get txn.w_val i
+    else Heap.read t.heap ~tid:txn.owner addr
   in
   let miss = coherence_cost t ~me:txn.owner ~line ~is_write:false in
   Profile.note_coherence (profile t) ~tid:txn.owner miss;
@@ -390,17 +491,26 @@ let txn_read t txn addr =
   Sched.consume t.sched ((costs t).load + miss + instr);
   v
 
+let txn_buffer_write txn addr v =
+  let i = write_index txn addr in
+  if i >= 0 then Vec.set txn.w_val i v
+  else begin
+    Vec.push txn.w_addr addr;
+    Vec.push txn.w_val v
+  end
+
 let txn_write t txn addr v =
   pressure_evict t ~me:txn.owner;
   check_doomed t txn;
   let line = Cache.line_of t.cache addr in
+  ensure_lines t line;
   Heatmap.touch t.heatmap line;
   track t txn line;
   note_write t txn line;
   (match t.backend with
   | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:true
   | Stm -> stm_note_read t txn line);
-  Hashtbl.replace txn.writes addr v;
+  txn_buffer_write txn addr v;
   let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
   Profile.note_coherence (profile t) ~tid:txn.owner miss;
   let instr = if t.backend = Stm then (costs t).store else 0 in
@@ -435,16 +545,20 @@ let commit t =
                line (TL2). *)
             (costs t).htm_commit
             + (Hashtbl.length txn.read_versions * (costs t).load)
-            + (Hashtbl.length txn.write_lines * (costs t).cas)
+            + (Vec.length txn.write_lines * (costs t).cas)
       in
       Sched.consume t.sched commit_cost;
       check_doomed t txn;
       if t.backend = Stm then stm_validate t txn;
       let me = txn.owner in
-      Hashtbl.iter (fun addr v -> Heap.write t.heap ~tid:me addr v) txn.writes;
-      if t.backend = Stm && Hashtbl.length txn.write_lines > 0 then begin
+      for i = 0 to Vec.length txn.w_addr - 1 do
+        Heap.write t.heap ~tid:me (Vec.get txn.w_addr i) (Vec.get txn.w_val i)
+      done;
+      if t.backend = Stm && Vec.length txn.write_lines > 0 then begin
         t.stm_clock <- t.stm_clock + 1;
-        Hashtbl.iter (fun line () -> bump_line_version t line) txn.write_lines
+        for i = 0 to Vec.length txn.write_lines - 1 do
+          bump_line_version t (Vec.get txn.write_lines i)
+        done
       end;
       t.txns.(me) <- None;
       unindex t txn;
@@ -452,8 +566,10 @@ let commit t =
       t.stats.(me).commits <- t.stats.(me).commits + 1;
       t.stats.(me).data_set_lines <-
         t.stats.(me).data_set_lines + footprint txn;
-      Trace.span_end (trace t) ~time:(Sched.now t.sched) ~tid:me Trace.Htm
-        "txn" (fun () -> Printf.sprintf "commit lines=%d" (footprint txn))
+      let tr = trace t in
+      if Trace.on tr then
+        Trace.span_end tr ~time:(Sched.now t.sched) ~tid:me Trace.Htm "txn"
+          (fun () -> Printf.sprintf "commit lines=%d" (footprint txn))
 
 let abort t =
   match my_txn t with
@@ -471,6 +587,7 @@ let nt_read t addr =
       let me = tid t in
       pressure_evict t ~me;
       let line = Cache.line_of t.cache addr in
+      ensure_lines t line;
       Heatmap.touch t.heatmap line;
       doom_conflicting t ~me ~line ~against_readers:false;
       let v = Heap.read t.heap ~tid:me addr in
@@ -486,6 +603,7 @@ let nt_write t addr v =
       let me = tid t in
       pressure_evict t ~me;
       let line = Cache.line_of t.cache addr in
+      ensure_lines t line;
       Heatmap.touch t.heatmap line;
       doom_conflicting t ~me ~line ~against_readers:true;
       Heap.write t.heap ~tid:me addr v;
@@ -507,13 +625,14 @@ let nt_cas t addr ~expect desired =
       pressure_evict t ~me:txn.owner;
       check_doomed t txn;
       let line = Cache.line_of t.cache addr in
+      ensure_lines t line;
       Heatmap.touch t.heatmap line;
       track t txn line;
       note_read t txn line;
       let cur =
-        match Hashtbl.find_opt txn.writes addr with
-        | Some v -> v
-        | None -> Heap.read t.heap ~tid:txn.owner addr
+        let i = write_index txn addr in
+        if i >= 0 then Vec.get txn.w_val i
+        else Heap.read t.heap ~tid:txn.owner addr
       in
       let ok = cur = expect in
       (* Same TTAS discipline transactionally: only a winning CAS adds the
@@ -521,7 +640,7 @@ let nt_cas t addr ~expect desired =
       if ok then begin
         note_write t txn line;
         doom_conflicting t ~me:txn.owner ~line ~against_readers:true;
-        Hashtbl.replace txn.writes addr desired
+        txn_buffer_write txn addr desired
       end
       else doom_conflicting t ~me:txn.owner ~line ~against_readers:false;
       (* And it pays coherence like the non-transactional branch: a CAS to
@@ -539,6 +658,7 @@ let nt_cas t addr ~expect desired =
          other quadratically. *)
       let me = tid t in
       let line = Cache.line_of t.cache addr in
+      ensure_lines t line;
       Heatmap.touch t.heatmap line;
       let cur = Heap.read t.heap ~tid:me addr in
       let ok = cur = expect in
@@ -563,17 +683,18 @@ let nt_fetch_add t addr delta =
       pressure_evict t ~me:txn.owner;
       check_doomed t txn;
       let line = Cache.line_of t.cache addr in
+      ensure_lines t line;
       Heatmap.touch t.heatmap line;
       track t txn line;
       note_read t txn line;
       note_write t txn line;
       doom_conflicting t ~me:txn.owner ~line ~against_readers:true;
       let cur =
-        match Hashtbl.find_opt txn.writes addr with
-        | Some v -> v
-        | None -> Heap.read t.heap ~tid:txn.owner addr
+        let i = write_index txn addr in
+        if i >= 0 then Vec.get txn.w_val i
+        else Heap.read t.heap ~tid:txn.owner addr
       in
-      Hashtbl.replace txn.writes addr (cur + delta);
+      txn_buffer_write txn addr (cur + delta);
       let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
       Profile.note_coherence (profile t) ~tid:txn.owner miss;
       Sched.consume t.sched ((costs t).fetch_add + miss);
@@ -581,6 +702,7 @@ let nt_fetch_add t addr delta =
   | None ->
       let me = tid t in
       let line = Cache.line_of t.cache addr in
+      ensure_lines t line;
       Heatmap.touch t.heatmap line;
       doom_conflicting t ~me ~line ~against_readers:true;
       let cur = Heap.read t.heap ~tid:me addr in
@@ -605,6 +727,7 @@ let free t addr =
          abort rather than observe reclaimed memory. *)
       let first = Cache.line_of t.cache addr in
       let last = Cache.line_of t.cache (addr + size - 1) in
+      ensure_lines t last;
       if t.backend = Stm then t.stm_clock <- t.stm_clock + 1;
       for line = first to last do
         doom_conflicting t ~me ~line ~against_readers:true;

@@ -1,13 +1,26 @@
+module Vec = St_sim.Vec
+
 type t = {
   shadow : Shadow.t;
   mutable words : int array; (* indexed by addr *)
   mutable owner : int array; (* addr -> live object base, 0 when dead *)
   mutable obj_size : int array; (* base addr -> size, valid while live *)
-  mutable birth : int array; (* base addr -> allocation seq, valid while live *)
+  mutable birth : int array;
+      (* base addr -> 1 + allocation seq while live, 0 when dead — the +1
+         keeps 0 free as the "no live object" sentinel for [birth_ix]
+         without perturbing the externally visible 0-based sequence *)
   mutable next_birth : int;
   mutable brk : int; (* next never-used address *)
-  free_lists : (int, Word.addr list ref) Hashtbl.t; (* size -> LIFO *)
-  quarantine : (Word.addr * int) Queue.t; (* freed blocks awaiting reuse *)
+  free_lists : (int, int Vec.t) Hashtbl.t; (* size -> LIFO stack of bases *)
+  (* Freed-block quarantine as a preallocated ring (addr, size pairs in two
+     flat arrays): the per-free Queue.push allocated a cons + tuple per
+     call, which is exactly the kind of minor-heap traffic the reclamation
+     hot path must not generate. Capacity is quarantine_max + 1 because a
+     push momentarily holds one block more than the retention bound. *)
+  q_addr : int array;
+  q_size : int array;
+  mutable q_head : int; (* index of oldest entry *)
+  mutable q_len : int;
   quarantine_max : int;
   align : int;
   mutable allocs : int;
@@ -33,7 +46,10 @@ let create ?(initial_words = 1 lsl 16) ?(quarantine = 128) ?(align = 4)
     next_birth = 0;
     brk = Word.heap_base;
     free_lists = Hashtbl.create 8;
-    quarantine = Queue.create ();
+    q_addr = Array.make (quarantine + 1) 0;
+    q_size = Array.make (quarantine + 1) 0;
+    q_head = 0;
+    q_len = 0;
     quarantine_max = quarantine;
     allocs = 0;
     frees = 0;
@@ -70,7 +86,7 @@ let claim t base size =
     t.words.(i) <- 0
   done;
   t.obj_size.(base) <- size;
-  t.birth.(base) <- t.next_birth;
+  t.birth.(base) <- t.next_birth + 1;
   t.next_birth <- t.next_birth + 1;
   t.allocs <- t.allocs + 1;
   t.live <- t.live + 1;
@@ -87,23 +103,32 @@ let chunk_size t size =
   let a = effective_align t in
   (size + a - 1) / a * a
 
+let free_list t size =
+  match Hashtbl.find t.free_lists size with
+  | v -> v
+  | exception Not_found ->
+      let v = Vec.create () in
+      Hashtbl.add t.free_lists size v;
+      v
+
 let alloc t ~tid:_ ~size =
   assert (size >= 1);
   let size = chunk_size t size in
+  let fl = free_list t size in
   let base =
-    match Hashtbl.find_opt t.free_lists size with
-    | Some ({ contents = base :: rest } as cell) ->
-        (* A drained cell stays in the table (empty, not removed): the next
-           free of this size class refills it in place, so a hot size class
-           allocates its list cell exactly once. *)
-        cell := rest;
-        base
-    | Some { contents = [] } | None ->
-        let a = effective_align t in
-        let base = (t.brk + a - 1) / a * a in
-        ensure_capacity t (base + size + 1);
-        t.brk <- base + size;
-        base
+    let n = Vec.length fl in
+    if n > 0 then begin
+      let base = Vec.get fl (n - 1) in
+      Vec.truncate fl (n - 1);
+      base
+    end
+    else begin
+      let a = effective_align t in
+      let base = (t.brk + a - 1) / a * a in
+      ensure_capacity t (base + size + 1);
+      t.brk <- base + size;
+      base
+    end
   in
   claim t base size;
   base
@@ -112,10 +137,17 @@ let is_allocated t addr = in_heap t addr && t.owner.(addr) = addr
 
 let size_of t addr = if is_allocated t addr then Some t.obj_size.(addr) else None
 
-let base_of t v =
-  if in_heap t v && t.owner.(v) <> 0 then Some t.owner.(v) else None
+let owner_of t v = if in_heap t v then t.owner.(v) else 0
 
-let birth_of t addr = if is_allocated t addr then Some t.birth.(addr) else None
+let base_of t v =
+  let b = owner_of t v in
+  if b <> 0 then Some b else None
+
+let birth_ix t addr = if is_allocated t addr then t.birth.(addr) else 0
+
+let birth_of t addr =
+  let b = birth_ix t addr in
+  if b <> 0 then Some (b - 1) else None
 
 let free t ~tid addr =
   if not (in_heap t addr) then
@@ -139,18 +171,17 @@ let free t ~tid addr =
        again, so that a use-after-free by a stale reader hits a dead word
        (and is reported) instead of silently aliasing a fresh allocation —
        same idea as ASan's quarantine. *)
-    Queue.push (addr, size) t.quarantine;
-    if Queue.length t.quarantine > t.quarantine_max then begin
-      let old_addr, old_size = Queue.pop t.quarantine in
-      let cell =
-        match Hashtbl.find_opt t.free_lists old_size with
-        | Some c -> c
-        | None ->
-            let c = ref [] in
-            Hashtbl.add t.free_lists old_size c;
-            c
-      in
-      cell := old_addr :: !cell
+    let cap = Array.length t.q_addr in
+    let slot = (t.q_head + t.q_len) mod cap in
+    t.q_addr.(slot) <- addr;
+    t.q_size.(slot) <- size;
+    t.q_len <- t.q_len + 1;
+    if t.q_len > t.quarantine_max then begin
+      let old_addr = t.q_addr.(t.q_head) in
+      let old_size = t.q_size.(t.q_head) in
+      t.q_head <- (t.q_head + 1) mod cap;
+      t.q_len <- t.q_len - 1;
+      Vec.push (free_list t old_size) old_addr
     end
   end
 

@@ -9,6 +9,10 @@ type t = {
   mutable total : int;
   counts : int array; (* indexed by kind *)
   mutable kept : violation list; (* reversed; first 16 *)
+  mutable kept_count : int;
+      (* = List.length kept — [record] runs on every checked heap access of
+         a buggy scheme, so counting the kept list per call was O(n) work
+         (and a pointer chase) on a hot path. *)
 }
 
 let kind_index = function
@@ -24,14 +28,17 @@ let kind_to_string = function
   | Bad_free -> "bad-free"
 
 let create ?(strict = false) () =
-  { strict; total = 0; counts = Array.make 4 0; kept = [] }
+  { strict; total = 0; counts = Array.make 4 0; kept = []; kept_count = 0 }
 
 let record t kind ~addr ~tid =
   let v = { kind; addr; tid } in
   t.total <- t.total + 1;
   let i = kind_index kind in
   t.counts.(i) <- t.counts.(i) + 1;
-  if List.length t.kept < 16 then t.kept <- v :: t.kept;
+  if t.kept_count < 16 then begin
+    t.kept <- v :: t.kept;
+    t.kept_count <- t.kept_count + 1
+  end;
   if t.strict then raise (Violation v)
 
 let count t = t.total

@@ -50,6 +50,7 @@ module Hooks = struct
     s : scheme;
     tid : int;
     buffer : Word.addr Vec.t;
+    scan_scratch : (int, unit) Hashtbl.t; (* protected-set table, reused *)
     mutable ring_pos : int;
     mutable hops : int;
   }
@@ -60,7 +61,14 @@ module Hooks = struct
 
   let create_thread s ~tid =
     s.registered <- tid :: s.registered;
-    { s; tid; buffer = Vec.create (); ring_pos = 0; hops = 0 }
+    {
+      s;
+      tid;
+      buffer = Vec.create ();
+      scan_scratch = Hashtbl.create 32;
+      ring_pos = 0;
+      hops = 0;
+    }
 
   let bump th =
     let s = th.s in
@@ -129,10 +137,13 @@ module Hooks = struct
     let sched = s.rt.Guard.sched in
     let costs = Sched.costs sched in
     let pending = Vec.length th.buffer in
-    Trace.span_begin (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "scan" (fun () -> Printf.sprintf "pending=%d" pending);
+    let tr = Sched.trace sched in
+    if Trace.on tr then
+      Trace.span_begin tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "scan" (fun () -> Printf.sprintf "pending=%d" pending);
     s.stats.Guard.scans <- s.stats.Guard.scans + 1;
-    let protected_set = Hashtbl.create 32 in
+    let protected_set = th.scan_scratch in
+    Hashtbl.clear protected_set;
     let t0 = Sched.now sched in
     let deadline = t0 + s.patience in
     let frozen_victims = ref [] in
@@ -208,12 +219,13 @@ module Hooks = struct
             s.frozen.(tid) <- false;
             Sched.consume sched costs.store)
           !frozen_victims);
-    Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "scan" (fun () ->
-        Printf.sprintf "freed=%d held=%d stall=%d frozen=%d"
-          (pending - Vec.length th.buffer)
-          (Vec.length th.buffer) (Sched.now sched - t0)
-          (List.length !frozen_victims))
+    if Trace.on tr then
+      Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "scan" (fun () ->
+          Printf.sprintf "freed=%d held=%d stall=%d frozen=%d"
+            (pending - Vec.length th.buffer)
+            (Vec.length th.buffer) (Sched.now sched - t0)
+            (List.length !frozen_victims))
 
   (* Like epoch, reclamation runs at the quiescent operation boundary so
      reclaimers never stall each other mid-operation. *)

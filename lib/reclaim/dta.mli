@@ -1,0 +1,22 @@
+(** Drop-the-anchor (Braginsky, Kogan, Petrank, SPAA 2013), the paper's
+    "DTA" baseline — implemented, as in the paper, for the linked list only.
+
+    Fast path: per-thread timestamps exactly like epoch-based reclamation,
+    plus an anchor publication once every [k] hops (one store + fence
+    amortised over [k] nodes — the "eliding hazards" trick that beats
+    hazard pointers).  Recovery path: when a reclaiming thread finds some
+    thread not making progress, it freezes it, treats the nodes in its
+    published anchor window as protected, and frees everything else — so a
+    stalled or crashed thread cannot block reclamation the way it does
+    under epoch.  See DESIGN.md's substitution table for how this maps onto
+    the original freezing protocol. *)
+
+include Guard.S
+
+val create :
+  ?batch:int -> ?k:int -> ?window:int -> ?patience:int -> Guard.runtime -> t
+(** [batch] (default 4) retirements trigger a reclamation scan; anchors are
+    published every [k] hops (default 16) into a ring of [window] node
+    pointers (default 48, which must exceed any held-pointer distance);
+    [patience] (default 30_000 cycles) is how long a reclaimer waits for
+    progress before freezing the laggard and consuming its window. *)

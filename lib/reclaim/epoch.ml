@@ -59,8 +59,10 @@ module Hooks = struct
     let sched = s.rt.Guard.sched in
     let costs = Sched.costs sched in
     let t0 = Sched.now sched in
-    Trace.span_begin (Sched.trace sched) ~time:t0 ~tid:th.tid Trace.Reclaim
-      "stall" Trace.no_detail;
+    let tr = Sched.trace sched in
+    if Trace.on tr then
+      Trace.span_begin tr ~time:t0 ~tid:th.tid Trace.Reclaim "stall"
+        Trace.no_detail;
     let deadline = t0 + s.patience in
     let ok = ref true in
     let profile = Sched.profile sched in
@@ -93,17 +95,20 @@ module Hooks = struct
           s.registered);
     s.stats.Guard.stall_cycles <-
       s.stats.Guard.stall_cycles + (Sched.now sched - t0);
-    Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "stall" (fun () ->
-        Printf.sprintf "cycles=%d grace=%b" (Sched.now sched - t0) !ok);
+    if Trace.on tr then
+      Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "stall" (fun () ->
+          Printf.sprintf "cycles=%d grace=%b" (Sched.now sched - t0) !ok);
     !ok
 
   let reclaim th =
     let s = th.s in
     let sched = s.rt.Guard.sched in
     let pending = Vec.length th.buffer in
-    Trace.span_begin (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "scan" (fun () -> Printf.sprintf "pending=%d" pending);
+    let tr = Sched.trace sched in
+    if Trace.on tr then
+      Trace.span_begin tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "scan" (fun () -> Printf.sprintf "pending=%d" pending);
     s.stats.Guard.scans <- s.stats.Guard.scans + 1;
     let profile = Sched.profile sched in
     Profile.push_mode profile ~tid:th.tid Profile.Reclaim_scan;
@@ -118,11 +123,12 @@ module Hooks = struct
             th.buffer;
           Vec.clear th.buffer
         end);
-    Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "scan" (fun () ->
-        Printf.sprintf "freed=%d held=%d"
-          (pending - Vec.length th.buffer)
-          (Vec.length th.buffer))
+    if Trace.on tr then
+      Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "scan" (fun () ->
+          Printf.sprintf "freed=%d held=%d"
+            (pending - Vec.length th.buffer)
+            (Vec.length th.buffer))
 
   (* Retires only buffer; reclamation runs at the next quiescent point
      (operation end), where this thread provably holds no references — this
@@ -130,9 +136,11 @@ module Hooks = struct
      while both are mid-operation. *)
   let retire th addr =
     let sched = th.s.rt.Guard.sched in
-    Trace.instant (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "retire" (fun () ->
-        Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.buffer + 1));
+    let tr = Sched.trace sched in
+    if Trace.on tr then
+      Trace.instant tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "retire" (fun () ->
+          Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.buffer + 1));
     Guard.note_retire th.s.stats ~now:(Sched.now sched) addr;
     Vec.push th.buffer addr
 

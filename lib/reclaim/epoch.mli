@@ -1,0 +1,20 @@
+(** Epoch/quiescence-based reclamation (Fraser 2004; Hart et al. 2007),
+    the paper's "Epoch" baseline.
+
+    Each thread keeps a timestamp with odd/even parity: odd while inside an
+    operation, even while quiescent, bumped at every operation start and
+    finish (two plain stores per operation — the cheapest instrumentation of
+    all schemes).  To reclaim, a thread snapshots all timestamps and waits
+    until every thread that was inside an operation has progressed.
+
+    The wait is the scheme's weakness, faithfully reproduced: a preempted
+    thread stalls the reclaimer for its whole time slice, and a crashed
+    thread stops reclamation entirely (§6 and the >8-threads cliff of
+    Figures 1-2). *)
+
+include Guard.S
+
+val create : ?batch:int -> ?patience:int -> Guard.runtime -> t
+(** [batch] (default 2) is the retirement count that triggers reclamation;
+    [patience] (default 250_000 cycles) bounds the grace-period wait so
+    blocked reclaimers degrade instead of deadlocking. *)

@@ -35,6 +35,7 @@ module Hooks = struct
     tid : int;
     buffer : Word.addr Vec.t;
     used_slots : bool array; (* cleared at op end *)
+    scan_scratch : (int, unit) Hashtbl.t; (* protected-set table, reused *)
   }
 
   let name = "hazards"
@@ -43,7 +44,13 @@ module Hooks = struct
 
   let create_thread s ~tid =
     s.registered <- tid :: s.registered;
-    { s; tid; buffer = Vec.create (); used_slots = Array.make slots_per_thread false }
+    {
+      s;
+      tid;
+      buffer = Vec.create ();
+      used_slots = Array.make slots_per_thread false;
+      scan_scratch = Hashtbl.create 64;
+    }
 
   let on_begin _ ~op_id:_ = ()
 
@@ -102,15 +109,20 @@ module Hooks = struct
     let sched = s.rt.Guard.sched in
     let costs = Sched.costs sched in
     let pending = Vec.length th.buffer in
-    Trace.span_begin (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "scan" (fun () -> Printf.sprintf "pending=%d" pending);
+    let tr = Sched.trace sched in
+    if Trace.on tr then
+      Trace.span_begin tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "scan" (fun () -> Printf.sprintf "pending=%d" pending);
     s.stats.Guard.scans <- s.stats.Guard.scans + 1;
     let profile = Sched.profile sched in
     Profile.push_mode profile ~tid:th.tid Profile.Reclaim_scan;
     Fun.protect
       ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
       (fun () ->
-        let protected_set = Hashtbl.create 64 in
+        (* Reused per-thread scratch: [Hashtbl.clear] keeps the bucket
+           array, so repeated scans stop allocating a fresh table each. *)
+        let protected_set = th.scan_scratch in
+        Hashtbl.clear protected_set;
         List.iter
           (fun tid ->
             for slot = 0 to slots_per_thread - 1 do
@@ -129,17 +141,20 @@ module Hooks = struct
               false
             end)
           th.buffer);
-    Trace.span_end (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "scan" (fun () ->
-        Printf.sprintf "freed=%d held=%d"
-          (pending - Vec.length th.buffer)
-          (Vec.length th.buffer))
+    if Trace.on tr then
+      Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "scan" (fun () ->
+          Printf.sprintf "freed=%d held=%d"
+            (pending - Vec.length th.buffer)
+            (Vec.length th.buffer))
 
   let retire th addr =
     let sched = th.s.rt.Guard.sched in
-    Trace.instant (Sched.trace sched) ~time:(Sched.now sched) ~tid:th.tid
-      Trace.Reclaim "retire" (fun () ->
-        Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.buffer + 1));
+    let tr = Sched.trace sched in
+    if Trace.on tr then
+      Trace.instant tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "retire" (fun () ->
+          Printf.sprintf "addr=%d pending=%d" addr (Vec.length th.buffer + 1));
     Guard.note_retire th.s.stats ~now:(Sched.now sched) addr;
     Vec.push th.buffer addr;
     if Vec.length th.buffer >= th.s.batch then scan th

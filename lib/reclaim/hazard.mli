@@ -1,0 +1,20 @@
+(** Hazard pointers (Michael 2004), the paper's "Hazards" baseline.
+
+    Each thread owns a small array of hazard slots.  Before traversing
+    through a node pointer, the thread publishes it in a slot, issues a
+    memory fence, and re-reads the source to validate that the pointer is
+    still current — the store + fence + re-read on {e every} node visited is
+    the overhead that makes hazard pointers lose to StackTrack on long
+    traversals (Figure 1).  Retired nodes are buffered; when the buffer
+    reaches the batch size, the thread collects every thread's hazard slots
+    and frees the buffered nodes none of them protect.
+
+    The hooks must be placed by hand per data structure (the [slot]
+    arguments in [st_dslib]); the impossibility of automating this is the
+    paper's core criticism of pointer-based schemes. *)
+
+include Guard.S
+
+val create : ?batch:int -> Guard.runtime -> t
+(** [batch] (default 16) is the retirement-buffer size that triggers a
+    collect-and-free scan. *)

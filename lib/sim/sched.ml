@@ -25,6 +25,10 @@ type thread = {
          scheduler's own ledger, kept independent of Profile's accounting
          so the conservation invariant compares two separate sums *)
   rng : Rng.t;
+  mutable self_opt : thread option;
+      (* == Some this, built once at registration: [dispatch] runs once per
+         cycle charge, and assigning a fresh [Some th] there was a minor
+         allocation per charge *)
 }
 
 type t = {
@@ -97,8 +101,10 @@ let add_thread t body =
       slice_used = 0;
       consumed = 0;
       rng = Rng.split t.rng;
+      self_opt = None;
     }
   in
+  th.self_opt <- Some th;
   t.live_on.(lcore) <- t.live_on.(lcore) + 1;
   t.threads <- th :: t.threads;
   t.n_registered <- tid + 1;
@@ -171,6 +177,10 @@ let crash t tid =
       mark_dead t th Crashed;
       raise Thread_crashed)
 
+(* The payload is never examined by the handler; performing a preallocated
+   effect value saves one allocation per cycle charge. *)
+let consume_eff = Consume 0
+
 let consume t cost =
   let th = cur_thread t in
   let cost =
@@ -178,42 +188,72 @@ let consume t cost =
       cost * t.ht_penalty_pct / 100
     else cost
   in
-  t.clocks.(th.lcore) <- t.clocks.(th.lcore) + cost;
+  let lc = th.lcore in
+  t.clocks.(lc) <- t.clocks.(lc) + cost;
   th.slice_used <- th.slice_used + cost;
   th.consumed <- th.consumed + cost;
   Profile.charge t.profile ~tid:th.tid cost;
-  perform (Consume cost)
+  (* Fast path: when yielding would hand control straight back to this
+     thread, skip the effect round-trip (continuation capture, handler,
+     [pick], resume).  That is the case exactly when (a) the quantum check
+     in [maybe_preempt] would not fire, and (b) this lcore would win [pick]
+     again: no other lcore with a nonempty run queue has a smaller clock,
+     nor an equal clock at a smaller index (the running thread is always
+     the head of its own queue).  The schedule — hence every observable
+     interleaving — is identical; only the no-op suspend/resume is
+     elided. *)
+  if th.slice_used >= t.quantum && Queue.length t.queues.(lc) > 1 then
+    perform consume_eff
+  else begin
+    let c = t.clocks.(lc) in
+    let n = Array.length t.queues in
+    let i = ref 0 in
+    let still_min = ref true in
+    while !still_min && !i < n do
+      let j = !i in
+      (if j <> lc && not (Queue.is_empty t.queues.(j)) then
+         let cj = t.clocks.(j) in
+         if cj < c || (cj = c && j < lc) then still_min := false);
+      incr i
+    done;
+    if not !still_min then perform consume_eff
+  end
 
-(* Pick the runnable thread whose lcore clock is minimal.  Queue heads are
-   the scheduled thread of each lcore; others on the same lcore wait for a
-   quantum expiry. *)
+(* Pick the runnable thread whose lcore clock is minimal (first such lcore
+   on ties, matching iteration order).  Queue heads are the scheduled
+   thread of each lcore; others on the same lcore wait for a quantum
+   expiry.  Plain loop with int state: this runs once per cycle charge, so
+   the [Some (c, lc)] accumulator of the closure version was two minor
+   allocations per improvement step, per charge. *)
 let pick t =
-  let best = ref None in
-  Array.iteri
-    (fun lc q ->
-      if not (Queue.is_empty q) then
-        let c = t.clocks.(lc) in
-        match !best with
-        | Some (c', _) when c' <= c -> ()
-        | _ -> best := Some (c, lc))
-    t.queues;
-  match !best with
-  | None -> None
-  | Some (_, lc) -> Some (Queue.peek t.queues.(lc))
+  let best_lc = ref (-1) in
+  let best_c = ref max_int in
+  for lc = 0 to Array.length t.queues - 1 do
+    if not (Queue.is_empty t.queues.(lc)) then begin
+      let c = t.clocks.(lc) in
+      if !best_lc < 0 || c < !best_c then begin
+        best_lc := lc;
+        best_c := c
+      end
+    end
+  done;
+  if !best_lc < 0 then None else Some (Queue.peek t.queues.(!best_lc))
 
 let maybe_preempt t th =
   if th.slice_used >= t.quantum && Queue.length t.queues.(th.lcore) > 1 then begin
-    Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
-      "preempt" (fun () -> Printf.sprintf "lcore=%d" th.lcore);
+    if Trace.on t.trace then
+      Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
+        "preempt" (fun () -> Printf.sprintf "lcore=%d" th.lcore);
     fire_preempt t th.tid;
     t.context_switches <- t.context_switches + 1;
     t.clocks.(th.lcore) <- t.clocks.(th.lcore) + t.costs.context_switch;
     th.consumed <- th.consumed + t.costs.context_switch;
     Profile.charge_switch t.profile ~tid:th.tid t.costs.context_switch;
-    Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
-      "context-switch" (fun () ->
-        Printf.sprintf "lcore=%d runnable=%d" th.lcore
-          (Queue.length t.queues.(th.lcore)));
+    if Trace.on t.trace then
+      Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
+        "context-switch" (fun () ->
+          Printf.sprintf "lcore=%d runnable=%d" th.lcore
+            (Queue.length t.queues.(th.lcore)));
     th.slice_used <- 0;
     let q = t.queues.(th.lcore) in
     let head = Queue.pop q in
@@ -227,6 +267,13 @@ let remove_from_queue t th =
   assert (head == th)
 
 let handler t th =
+  (* Hoisted out of [effc]: building this closure inside the [Consume]
+     branch allocated it afresh on every single cycle charge. *)
+  let on_consume (k : (unit, unit) continuation) =
+    th.state <- Suspended k;
+    maybe_preempt t th
+  in
+  let on_consume_some = Some on_consume in
   {
     retc =
       (fun () ->
@@ -248,15 +295,12 @@ let handler t th =
       (fun (type a) (e : a Effect.t) ->
         match e with
         | Consume _ ->
-            Some
-              (fun (k : (a, _) continuation) ->
-                th.state <- Suspended k;
-                maybe_preempt t th)
+            (on_consume_some : ((a, _) continuation -> _) option)
         | _ -> None);
   }
 
 let dispatch t th =
-  t.cur <- Some th;
+  t.cur <- th.self_opt;
   (match th.state with
   | Not_started body ->
       th.state <- Running;

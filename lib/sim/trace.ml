@@ -30,6 +30,7 @@ let create ?(capacity = 4096) ~enabled () =
   { enabled; capacity; ring = Array.make capacity None; next = 0 }
 
 let enabled t = t.enabled
+let[@inline] on t = t.enabled
 let enable t b = t.enabled <- b
 let no_detail () = ""
 
