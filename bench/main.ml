@@ -34,11 +34,12 @@ let jobs = ref 1
 let json_out = ref None
 let profile = ref false
 let flame_out = ref None
+let lifecycle = ref false
 
 let usage () =
   prerr_endline
     "usage: main.exe [target ...] [--quick|--full] [--verbose] [--jobs N] \
-     [--json-out FILE] [--profile] [--flame-out FILE]";
+     [--json-out FILE] [--profile] [--flame-out FILE] [--lifecycle]";
   exit 2
 
 let parse_args () =
@@ -71,6 +72,9 @@ let parse_args () =
         flame_out := Some file;
         go rest
     | [ "--flame-out" ] -> usage ()
+    | "--lifecycle" :: rest ->
+        lifecycle := true;
+        go rest
     | t :: rest ->
         targets := t :: !targets;
         go rest
@@ -158,15 +162,20 @@ let () =
   let verbose = !verbose in
   let jobs = !jobs in
   let profile = !profile || !flame_out <> None in
+  let lifecycle = !lifecycle in
   (* Results of the figures that return full Experiment.results, in the
      order the figures ran, for --json-out. *)
   let collected = ref [] in
   let collect_rows rows = collected := !collected @ List.concat_map snd rows in
-  if want "fig1-list" then collect_rows (Figures.fig1_list ~verbose ~jobs ~profile ~speed ());
+  if want "fig1-list" then
+    collect_rows (Figures.fig1_list ~verbose ~jobs ~profile ~lifecycle ~speed ());
   if want "fig1-skiplist" then
-    collect_rows (Figures.fig1_skiplist ~verbose ~jobs ~profile ~speed ());
-  if want "fig2-queue" then collect_rows (Figures.fig2_queue ~verbose ~jobs ~profile ~speed ());
-  if want "fig2-hash" then collect_rows (Figures.fig2_hash ~verbose ~jobs ~profile ~speed ());
+    collect_rows
+      (Figures.fig1_skiplist ~verbose ~jobs ~profile ~lifecycle ~speed ());
+  if want "fig2-queue" then
+    collect_rows (Figures.fig2_queue ~verbose ~jobs ~profile ~lifecycle ~speed ());
+  if want "fig2-hash" then
+    collect_rows (Figures.fig2_hash ~verbose ~jobs ~profile ~lifecycle ~speed ());
   if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~jobs ~speed ());
   if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~jobs ~speed ());
   if want "fig5-slowpath" then ignore (Figures.fig5_slowpath ~verbose ~jobs ~speed ());
@@ -180,7 +189,8 @@ let () =
   if want "memory" then
     collected :=
       !collected
-      @ List.map snd (Figures.memory_profile ~verbose ~jobs ~profile ~speed ());
+      @ List.map snd
+          (Figures.memory_profile ~verbose ~jobs ~profile ~lifecycle ~speed ());
   if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ());
   if want "micro" then run_micro ();
   (match !json_out with

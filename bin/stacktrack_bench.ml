@@ -78,6 +78,24 @@ let print_result (r : Experiment.result) =
       in
       printf "    %-16s  %12d@." "idle" idle
   | None -> ());
+  (match r.Experiment.lifecycle with
+  | Some lc ->
+      printf "  lifecycle           %d retired, %d freed, %d in limbo at exit@."
+        lc.Experiment.lc_retires lc.Experiment.lc_frees
+        lc.Experiment.limbo_at_end;
+      printf "    limbo peak        %d objects / %d words@."
+        lc.Experiment.peak_limbo_objects lc.Experiment.peak_limbo_words;
+      printf "    footprint         %d limbo words at end, %d peak live words@."
+        lc.Experiment.limbo_words_at_end lc.Experiment.peak_live_words;
+      let h = lc.Experiment.lag_hist in
+      if Latency.count h > 0 then
+        printf "    retire->free lag  p50 %d  p95 %d  p99 %d  max %d cycles@."
+          (Latency.percentile h 50.) (Latency.percentile h 95.)
+          (Latency.percentile h 99.) (Latency.max_value h)
+      else printf "    retire->free lag  (no freed objects)@.";
+      printf "    watchdog          %a@." St_sim.Watchdog.pp_report
+        lc.Experiment.watchdog
+  | None -> ());
   (match r.Experiment.heatmap with
   | Some rows when rows <> [] ->
       printf "  contention heatmap  (top %d cache lines)@." (List.length rows);
@@ -211,9 +229,22 @@ let run_cmd =
              ($(i,scheme;tid;account cycles)) to $(docv), ready for \
              flamegraph.pl or speedscope.  Implies --profile.")
   in
+  let lifecycle =
+    Arg.(
+      value & flag
+      & info [ "lifecycle" ]
+          ~doc:
+            "Stamp every object's alloc/retire/free on a lifecycle ledger \
+             and sample the limbo backlog once per scheduler quantum: adds \
+             retire-to-free latency percentiles, limbo/footprint peaks and \
+             a stalled-reclamation watchdog report to the text output, a \
+             reclaim_lifecycle section to --json, and limbo counter tracks \
+             to --trace-out.  Registers an extra sampler thread, so the \
+             schedule differs from an unflagged run.")
+  in
   let run structure scheme threads duration keys init mutations seed buckets
       forced_slow max_free hash_scan crash zipf json trace_out trace_capacity
-      metrics_interval profile flame_out =
+      metrics_interval profile flame_out lifecycle =
     match scheme_of_string ~forced_slow ~max_free ~hash_scan scheme with
     | Error e ->
         prerr_endline e;
@@ -253,6 +284,7 @@ let run_cmd =
             metrics_interval;
             trace;
             profile = profile || flame_out <> None;
+            lifecycle;
           }
         in
         let r = Experiment.run cfg in
@@ -288,7 +320,7 @@ let run_cmd =
       const run $ structure $ scheme $ threads $ duration $ keys $ init
       $ mutations $ seed $ buckets $ forced_slow $ max_free $ hash_scan $ crash
       $ zipf $ json $ trace_out $ trace_capacity $ metrics_interval $ profile
-      $ flame_out)
+      $ flame_out $ lifecycle)
 
 let figures_cmd =
   let names =
@@ -317,18 +349,31 @@ let figures_cmd =
              seed-deterministic and reports consume results in submission \
              order.")
   in
-  let run names quick verbose jobs =
+  let lifecycle =
+    Arg.(
+      value & flag
+      & info [ "lifecycle" ]
+          ~doc:
+            "Run the thread sweeps (fig1/fig2) and the memory profile with \
+             the lifecycle ledger + watchdog on, appending per-scheme \
+             reclamation-health notes (limbo peaks, retire-to-free lag, \
+             stagnation incidents) to each report.")
+  in
+  let run names quick verbose jobs lifecycle =
     if jobs < 0 then begin
       prerr_endline "stacktrack_bench: --jobs must be >= 0";
       exit 2
     end;
     let speed = if quick then Figures.Quick else Figures.Full in
     let want t = List.mem t names || List.mem "all" names in
-    if want "fig1-list" then ignore (Figures.fig1_list ~verbose ~jobs ~speed ());
+    if want "fig1-list" then
+      ignore (Figures.fig1_list ~verbose ~jobs ~lifecycle ~speed ());
     if want "fig1-skiplist" then
-      ignore (Figures.fig1_skiplist ~verbose ~jobs ~speed ());
-    if want "fig2-queue" then ignore (Figures.fig2_queue ~verbose ~jobs ~speed ());
-    if want "fig2-hash" then ignore (Figures.fig2_hash ~verbose ~jobs ~speed ());
+      ignore (Figures.fig1_skiplist ~verbose ~jobs ~lifecycle ~speed ());
+    if want "fig2-queue" then
+      ignore (Figures.fig2_queue ~verbose ~jobs ~lifecycle ~speed ());
+    if want "fig2-hash" then
+      ignore (Figures.fig2_hash ~verbose ~jobs ~lifecycle ~speed ());
     if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~jobs ~speed ());
     if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~jobs ~speed ());
     if want "fig5-slowpath" then
@@ -342,12 +387,13 @@ let figures_cmd =
     end;
     if want "crash" then ignore (Figures.crash_resilience ~verbose ~jobs ~speed ());
     if want "latency" then ignore (Figures.latency_profile ~verbose ~jobs ~speed ());
-    if want "memory" then ignore (Figures.memory_profile ~verbose ~jobs ~speed ());
+    if want "memory" then
+      ignore (Figures.memory_profile ~verbose ~jobs ~lifecycle ~speed ());
     if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ())
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's figures.")
-    Term.(const run $ names $ quick $ verbose $ jobs)
+    Term.(const run $ names $ quick $ verbose $ jobs $ lifecycle)
 
 let main =
   Cmd.group

@@ -278,4 +278,47 @@ let report ppf doc =
             | Some (Json_out.String s) -> s
             | _ -> "-"))
         rows
-  | _ -> ())
+  | _ -> ());
+  match g [ "reclaim_lifecycle" ] with
+  | None -> ()
+  | Some lc ->
+      let m k = member k lc in
+      Format.fprintf ppf "@.memory lifecycle:@.";
+      Format.fprintf ppf
+        "  census: allocs=%s retires=%s frees=%s live_at_end=%s@."
+        (istr (as_int (m "allocs")))
+        (istr (as_int (m "retires")))
+        (istr (as_int (m "frees")))
+        (istr (as_int (m "live_at_end")));
+      Format.fprintf ppf
+        "  limbo: at_end=%s (%s words) peak=%s objects / %s words@."
+        (istr (as_int (m "limbo_at_end")))
+        (istr (as_int (m "limbo_words_at_end")))
+        (istr (as_int (m "peak_limbo_objects")))
+        (istr (as_int (m "peak_limbo_words")));
+      Format.fprintf ppf "  footprint: peak_live_words=%s@."
+        (istr (as_int (m "peak_live_words")));
+      (match as_int (path_get lc [ "lag"; "count" ]) with
+      | Some count when count > 0 ->
+          Format.fprintf ppf
+            "  retire->free lag: count=%d p50=%s p95=%s p99=%s max=%s@." count
+            (istr (as_int (path_get lc [ "lag"; "p50" ])))
+            (istr (as_int (path_get lc [ "lag"; "p95" ])))
+            (istr (as_int (path_get lc [ "lag"; "p99" ])))
+            (istr (as_int (path_get lc [ "lag"; "max" ])))
+      | _ -> Format.fprintf ppf "  retire->free lag: no freed objects@.");
+      let wd k = path_get lc [ "watchdog"; k ] in
+      let incidents = Option.value ~default:0 (as_int (wd "incidents")) in
+      if incidents = 0 then
+        Format.fprintf ppf "  watchdog: no stagnation (%s observations)@."
+          (istr (as_int (wd "observations")))
+      else
+        Format.fprintf ppf
+          "  watchdog: %d stagnation incident(s), %s stalled cycles, max \
+           backlog %s%s@."
+          incidents
+          (istr (as_int (wd "total_stalled_cycles")))
+          (istr (as_int (wd "max_backlog")))
+          (match wd "ongoing" with
+          | Some (Json_out.Bool true) -> ", ongoing at exit"
+          | _ -> "")

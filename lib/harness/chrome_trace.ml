@@ -16,6 +16,7 @@ let phase_string = function
   | Trace.Begin -> "B"
   | Trace.End -> "E"
   | Trace.Instant -> "i"
+  | Trace.Counter -> "C"
 
 let event_json ~pid (e : Trace.event) =
   Json_out.Obj
@@ -29,11 +30,24 @@ let event_json ~pid (e : Trace.event) =
      ]
     @ (match e.Trace.phase with
       | Trace.Instant -> [ ("s", Json_out.String "t") ]
-      | Trace.Begin | Trace.End -> [])
+      | Trace.Begin | Trace.End | Trace.Counter -> [])
     @
-    if e.Trace.detail = "" then []
-    else
-      [ ("args", Json_out.Obj [ ("detail", Json_out.String e.Trace.detail) ]) ])
+    match e.Trace.phase with
+    | Trace.Counter ->
+        (* Counter tracks want a numeric series; the value travels as the
+           decimal [detail] string (see [Trace.counter]). *)
+        let value =
+          match int_of_string_opt e.Trace.detail with
+          | Some v -> Json_out.Int v
+          | None -> Json_out.String e.Trace.detail
+        in
+        [ ("args", Json_out.Obj [ ("value", value) ]) ]
+    | Trace.Begin | Trace.End | Trace.Instant ->
+        if e.Trace.detail = "" then []
+        else
+          [
+            ("args", Json_out.Obj [ ("detail", Json_out.String e.Trace.detail) ]);
+          ])
 
 let to_json ?(pid = 0) trace =
   let events = ref [] in

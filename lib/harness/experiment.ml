@@ -67,6 +67,13 @@ type config = {
           contention heatmap.  Both do pure arithmetic at existing charge
           sites (no RNG draws, no extra consumes), so the simulation result
           is identical with this on or off. *)
+  lifecycle : bool;
+      (** Enable the memory-lifecycle ledger (per-object alloc/retire/free
+          stamps), its limbo/footprint time series, and the
+          stalled-reclamation watchdog.  Unlike [profile], this registers
+          an extra sampler thread (one observation per scheduler quantum),
+          so a flagged run is a {e different schedule} from an unflagged
+          one — byte-identity is only promised for unflagged runs. *)
 }
 
 let default_config =
@@ -91,9 +98,28 @@ let default_config =
     metrics_interval = 0;
     trace = None;
     profile = false;
+    lifecycle = false;
   }
 
 type heat_row = { heat : Heatmap.row; owner : string option }
+
+(* Everything [cfg.lifecycle] adds to a run, gathered so the JSON encoder
+   can emit (or omit) it as one tail section. *)
+type lifecycle_summary = {
+  lc_allocs : int;
+  lc_retires : int;
+  lc_frees : int;
+  lc_live_at_end : int;
+  limbo_at_end : int;  (** Objects still retired-but-unfreed at exit. *)
+  limbo_words_at_end : int;
+  peak_limbo_objects : int;
+  peak_limbo_words : int;  (** Peak unreclaimed footprint (words). *)
+  peak_live_words : int;
+  lag_hist : Latency.t;  (** Retire→free latency distribution (cycles). *)
+  lc_series : Metrics.lifecycle_sample list;
+      (** One snapshot per scheduler quantum. *)
+  watchdog : Watchdog.report;
+}
 
 type result = {
   cfg : config;
@@ -123,6 +149,7 @@ type result = {
   heatmap : heat_row list option;
       (** Top-N contention heatmap, hot lines annotated with the live
           object owning them; [Some] iff [cfg.profile]. *)
+  lifecycle : lifecycle_summary option;  (** [Some] iff [cfg.lifecycle]. *)
 }
 
 let throughput_of ~ops ~makespan =
@@ -227,6 +254,25 @@ let run cfg =
   let setup_rng = Rng.create ~seed:(cfg.seed lxor 0x5EED) in
   let inst = make_instance rt cfg.scheme in
 
+  (* Memory-lifecycle ledger + stalled-reclamation watchdog.  The ledger
+     hooks are permanently wired into [Heap.claim]/[Heap.free] and
+     [Guard.note_retire]; attaching an enabled ledger here is what turns
+     them on.  [now_or_global] makes alloc stamps valid during raw
+     population/teardown too, when no simulated thread is current. *)
+  let ledger =
+    if cfg.lifecycle then
+      Lifecycle.create
+        ~now:(fun () -> Sched.now_or_global sched)
+        ~resolve:(Heap.birth_ix heap) ()
+    else Lifecycle.disabled
+  in
+  let watchdog = Watchdog.create ~trace:(Sched.trace sched) () in
+  if cfg.lifecycle then begin
+    Heap.set_lifecycle heap ledger;
+    match inst.packed with
+    | Packed ((module G), s) -> (G.stats s).Guard.lifecycle <- ledger
+  end;
+
   let init_keys =
     St_workload.Workload.initial_keys ~rng:setup_rng ~key_range:cfg.key_range
       ~size:cfg.init_size
@@ -238,6 +284,7 @@ let run cfg =
   (* Snapshot every machine-wide counter for the metrics time series.
      Counters are cumulative; consumers difference consecutive samples. *)
   let metrics_acc = ref [] in
+  let lifecycle_acc = ref [] in
   let scheme_guard_stats () =
     match inst.packed with Packed ((module G), s) -> G.stats s
   in
@@ -315,6 +362,51 @@ let run cfg =
                  next :=
                    ((Sched.now sched / cfg.metrics_interval) + 1)
                    * cfg.metrics_interval
+               end
+             done));
+    (* Lifecycle sampler: one ledger snapshot per scheduler quantum, feeding
+       the limbo/footprint time series, the Chrome counter tracks, and the
+       watchdog (whose threshold is therefore "N quanta without progress").
+       Only registered when [cfg.lifecycle] — the extra thread perturbs the
+       schedule, and unflagged runs must stay byte-identical. *)
+    if cfg.lifecycle then
+      ignore
+        (Sched.add_thread sched (fun tid ->
+             let interval = cfg.quantum in
+             let next = ref interval in
+             while Sched.now sched < cfg.duration do
+               Sched.consume sched (max 1 (!next - Sched.now sched));
+               if Sched.now sched >= !next then begin
+                 let now = Sched.now sched in
+                 let g = scheme_guard_stats () in
+                 let limbo = Lifecycle.limbo_objects ledger in
+                 let limbo_w = Lifecycle.limbo_words ledger in
+                 let live_w = Lifecycle.live_words ledger in
+                 lifecycle_acc :=
+                   {
+                     Metrics.lc_time = now;
+                     limbo_objects = limbo;
+                     limbo_words = limbo_w;
+                     live_words = live_w;
+                     peak_limbo_words = Lifecycle.peak_limbo_words ledger;
+                     quarantine = Heap.quarantined heap;
+                     lc_retired = g.Guard.retired;
+                     lc_freed = g.Guard.freed;
+                   }
+                   :: !lifecycle_acc;
+                 Watchdog.observe watchdog ~time:now ~tid
+                   ~progress:g.Guard.freed
+                   ~backlog:(g.Guard.retired - g.Guard.freed);
+                 let tr = Sched.trace sched in
+                 if Trace.on tr then begin
+                   Trace.counter tr ~time:now ~tid Trace.Reclaim
+                     "limbo_objects" limbo;
+                   Trace.counter tr ~time:now ~tid Trace.Reclaim "limbo_words"
+                     limbo_w;
+                   Trace.counter tr ~time:now ~tid Trace.Reclaim "live_words"
+                     live_w
+                 end;
+                 next := ((Sched.now sched / interval) + 1) * interval
                end
              done));
     Sched.run sched
@@ -433,6 +525,37 @@ let run cfg =
            (Heatmap.snapshot ~top:16 heatmap))
     else None
   in
+  let lifecycle_summary =
+    if not cfg.lifecycle then None
+    else begin
+      (* The ledger and the heap/shadow state are two independent censuses
+         of the same objects; any disagreement (freed-but-live, leaked at
+         exit) means an instrumentation hole, and the run is invalid. *)
+      (match
+         Lifecycle.cross_check ledger ~heap_allocs:(Heap.allocs heap)
+           ~heap_frees:(Heap.frees heap) ~heap_live:(Heap.live_objects heap)
+       with
+      | Some msg -> failwith ("lifecycle ledger diverged from heap: " ^ msg)
+      | None -> ());
+      let lag_hist = Latency.create () in
+      Lifecycle.iter_lags ledger (Latency.record lag_hist);
+      Some
+        {
+          lc_allocs = Lifecycle.allocs ledger;
+          lc_retires = Lifecycle.retires ledger;
+          lc_frees = Lifecycle.frees ledger;
+          lc_live_at_end = Lifecycle.live_objects ledger;
+          limbo_at_end = Lifecycle.limbo_objects ledger;
+          limbo_words_at_end = Lifecycle.limbo_words ledger;
+          peak_limbo_objects = Lifecycle.peak_limbo_objects ledger;
+          peak_limbo_words = Lifecycle.peak_limbo_words ledger;
+          peak_live_words = Lifecycle.peak_live_words ledger;
+          lag_hist;
+          lc_series = List.rev !lifecycle_acc;
+          watchdog = Watchdog.report watchdog ~now:makespan;
+        }
+    end
+  in
   {
     cfg;
     total_ops;
@@ -456,4 +579,5 @@ let run cfg =
     peak_live = Heap.peak_live heap;
     profile = profile_snap;
     heatmap = heatmap_rows;
+    lifecycle = lifecycle_summary;
   }

@@ -59,6 +59,13 @@ type config = {
           contention heatmap.  Both do pure arithmetic at existing charge
           sites (no RNG draws, no extra consumes), so the simulation
           result is identical with this on or off. *)
+  lifecycle : bool;
+      (** Enable the memory-lifecycle ledger (per-object alloc/retire/free
+          stamps), its limbo-backlog/footprint time series, and the
+          stalled-reclamation watchdog.  Unlike [profile], this registers
+          an extra sampler thread (one observation per scheduler quantum),
+          so a flagged run is a {e different schedule} from an unflagged
+          one — byte-identity is only promised for unflagged runs. *)
 }
 
 val default_config : config
@@ -67,6 +74,27 @@ type heat_row = { heat : St_htm.Heatmap.row; owner : string option }
 (** A contention-heatmap row plus the owning live object, formatted
     ["obj#<birth>@<base>+<offset>"] ([None] when the line's object was
     freed before the end of the run). *)
+
+type lifecycle_summary = {
+  lc_allocs : int;
+  lc_retires : int;
+  lc_frees : int;
+  lc_live_at_end : int;
+  limbo_at_end : int;  (** Objects still retired-but-unfreed at exit. *)
+  limbo_words_at_end : int;
+  peak_limbo_objects : int;
+  peak_limbo_words : int;  (** Peak unreclaimed footprint (words). *)
+  peak_live_words : int;
+  lag_hist : Latency.t;  (** Retire→free latency distribution (cycles). *)
+  lc_series : Metrics.lifecycle_sample list;
+      (** One snapshot per scheduler quantum. *)
+  watchdog : St_sim.Watchdog.report;
+}
+(** Everything [cfg.lifecycle] adds to a run.  Before this summary is
+    built, the ledger is cross-checked against the heap/shadow census
+    (allocs, frees, live population, and the [allocs = frees + live]
+    conservation law); a divergence raises [Failure] — it would mean an
+    instrumentation hole, not a property of the scheme under test. *)
 
 type result = {
   cfg : config;
@@ -97,6 +125,7 @@ type result = {
           advance ({!St_sim.Profile.conserved}). *)
   heatmap : heat_row list option;
       (** Top-N contention heatmap; [Some] iff [cfg.profile]. *)
+  lifecycle : lifecycle_summary option;  (** [Some] iff [cfg.lifecycle]. *)
 }
 
 val throughput_of : ops:int -> makespan:int -> float

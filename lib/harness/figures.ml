@@ -93,10 +93,10 @@ let chunks k xs =
   go [] xs
 
 (* Throughput sweep over threads x schemes. *)
-let throughput_sweep ?(verbose = false) ?(jobs = 1) ?(profile = false) ~speed
-    ~base ~schemes () =
+let throughput_sweep ?(verbose = false) ?(jobs = 1) ?(profile = false)
+    ?(lifecycle = false) ~speed ~base ~schemes () =
   let threads = thread_points speed in
-  let base : Experiment.config = { base with profile } in
+  let base : Experiment.config = { base with profile; lifecycle } in
   let cfgs =
     List.concat_map
       (fun t -> List.map (fun scheme -> { base with scheme; threads = t }) schemes)
@@ -126,57 +126,86 @@ let print_throughput ~title ~subtitle ~schemes rows =
 
 let set_schemes = [ Original; Hazards; Epoch; stacktrack_default ]
 
+(* When the sweep carried the lifecycle ledger, append one reclamation-health
+   line per scheme at the highest thread count: the limbo backlog/footprint
+   and watchdog columns behind the per-scheme curves (EXPERIMENTS.md).
+   Silent for unflagged runs, so figure output stays byte-identical. *)
+let lifecycle_notes ~schemes rows =
+  match List.rev rows with
+  | [] -> ()
+  | (t, rs) :: _ ->
+      List.iter2
+        (fun scheme (r : Experiment.result) ->
+          match r.lifecycle with
+          | None -> ()
+          | Some lc ->
+              let wd = lc.watchdog in
+              Report.note
+                "%-12s @%dthr limbo: peak=%d objs/%d words, end=%d | lag \
+                 p50=%d p99=%d | watchdog: %d incident(s)%s"
+                (scheme_name scheme) t lc.peak_limbo_objects
+                lc.peak_limbo_words lc.limbo_at_end
+                (Latency.percentile lc.lag_hist 50.)
+                (Latency.percentile lc.lag_hist 99.)
+                wd.St_sim.Watchdog.n_incidents
+                (if wd.St_sim.Watchdog.ongoing then ", ongoing at exit" else ""))
+        schemes rs
+
 (* ------------------------------------------------------------------ *)
 (* Figure 1: list and skip-list throughput                             *)
 (* ------------------------------------------------------------------ *)
 
-let fig1_list ?verbose ?jobs ?profile ~speed () =
+let fig1_list ?verbose ?jobs ?profile ?lifecycle ~speed () =
   let schemes = set_schemes @ [ Dta ] in
   let rows =
-    throughput_sweep ?verbose ?jobs ?profile ~speed ~base:(list_config speed)
-      ~schemes ()
+    throughput_sweep ?verbose ?jobs ?profile ?lifecycle ~speed
+      ~base:(list_config speed) ~schemes ()
   in
   print_throughput
     ~title:"Figure 1a -- List: throughput vs threads"
     ~subtitle:"1K keys (scaled from 5K), 20% mutations; ops per Mcycle"
     ~schemes rows;
+  lifecycle_notes ~schemes rows;
   rows
 
-let fig1_skiplist ?verbose ?jobs ?profile ~speed () =
+let fig1_skiplist ?verbose ?jobs ?profile ?lifecycle ~speed () =
   let rows =
-    throughput_sweep ?verbose ?jobs ?profile ~speed
+    throughput_sweep ?verbose ?jobs ?profile ?lifecycle ~speed
       ~base:(skiplist_config speed) ~schemes:set_schemes ()
   in
   print_throughput
     ~title:"Figure 1b -- Skip list: throughput vs threads"
     ~subtitle:"8K keys (scaled from 100K), 20% mutations; ops per Mcycle"
     ~schemes:set_schemes rows;
+  lifecycle_notes ~schemes:set_schemes rows;
   rows
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: queue and hash-table throughput                           *)
 (* ------------------------------------------------------------------ *)
 
-let fig2_queue ?verbose ?jobs ?profile ~speed () =
+let fig2_queue ?verbose ?jobs ?profile ?lifecycle ~speed () =
   let rows =
-    throughput_sweep ?verbose ?jobs ?profile ~speed ~base:(queue_config speed)
-      ~schemes:set_schemes ()
+    throughput_sweep ?verbose ?jobs ?profile ?lifecycle ~speed
+      ~base:(queue_config speed) ~schemes:set_schemes ()
   in
   print_throughput
     ~title:"Figure 2a -- Queue: throughput vs threads"
     ~subtitle:"20% mutations (enqueue/dequeue), 80% peek; ops per Mcycle"
     ~schemes:set_schemes rows;
+  lifecycle_notes ~schemes:set_schemes rows;
   rows
 
-let fig2_hash ?verbose ?jobs ?profile ~speed () =
+let fig2_hash ?verbose ?jobs ?profile ?lifecycle ~speed () =
   let rows =
-    throughput_sweep ?verbose ?jobs ?profile ~speed ~base:(hash_config speed)
-      ~schemes:set_schemes ()
+    throughput_sweep ?verbose ?jobs ?profile ?lifecycle ~speed
+      ~base:(hash_config speed) ~schemes:set_schemes ()
   in
   print_throughput
     ~title:"Figure 2b -- Hash table: throughput vs threads"
     ~subtitle:"4K keys (scaled from 10K), 512 buckets, 20% mutations; ops per Mcycle"
     ~schemes:set_schemes rows;
+  lifecycle_notes ~schemes:set_schemes rows;
   rows
 
 (* ------------------------------------------------------------------ *)
@@ -463,7 +492,8 @@ let stm_vs_htm ?(verbose = false) ?(jobs = 1) ~speed () =
    schemes (sec 1).  Thread 0 crashes at 25% of the run; live objects are
    sampled over time: epoch's curve climbs from the crash onward while the
    non-blocking schemes stay flat. *)
-let memory_profile ?(verbose = false) ?(jobs = 1) ?(profile = false) ~speed () =
+let memory_profile ?(verbose = false) ?(jobs = 1) ?(profile = false)
+    ?(lifecycle = false) ~speed () =
   let base =
     let d = duration speed * 3 in
     {
@@ -476,6 +506,7 @@ let memory_profile ?(verbose = false) ?(jobs = 1) ?(profile = false) ~speed () =
       crash_tids = [ 0 ];
       sample_live = d / 12;
       profile;
+      lifecycle;
     }
   in
   let schemes = [ Epoch; Hazards; stacktrack_default ] in
@@ -521,6 +552,23 @@ let memory_profile ?(verbose = false) ?(jobs = 1) ?(profile = false) ~speed () =
         (scheme_name scheme)
         (St_reclaim.Guard.mean_lag r.reclaim)
         r.reclaim.St_reclaim.Guard.lag_max r.peak_live)
+    per_scheme;
+  (* With the ledger on, the crash figure gains its watchdog column: epoch
+     stagnates (the crashed thread pins the epoch), the non-blocking
+     schemes report no incidents. *)
+  List.iter
+    (fun (scheme, (r : Experiment.result)) ->
+      match r.lifecycle with
+      | None -> ()
+      | Some lc ->
+          let wd = lc.watchdog in
+          Report.note
+            "%-12s limbo peak=%d objs/%d words end=%d | watchdog: %d \
+             incident(s), %d stalled cycles%s"
+            (scheme_name scheme) lc.peak_limbo_objects lc.peak_limbo_words
+            lc.limbo_at_end wd.St_sim.Watchdog.n_incidents
+            wd.St_sim.Watchdog.total_stalled_cycles
+            (if wd.St_sim.Watchdog.ongoing then ", ongoing at exit" else ""))
     per_scheme;
   per_scheme
 

@@ -31,6 +31,7 @@ val throughput_sweep :
   ?verbose:bool ->
   ?jobs:int ->
   ?profile:bool ->
+  ?lifecycle:bool ->
   speed:speed ->
   base:Experiment.config ->
   schemes:Experiment.scheme_kind list ->
@@ -39,23 +40,26 @@ val throughput_sweep :
 (** Threads x schemes sweep; rows keyed by thread count, results in scheme
     order.  Asserts zero shadow-checker violations per point.  [profile]
     turns on the cycle-attribution profiler and contention heatmap for
-    every point (off by default; see {!Experiment.config}). *)
+    every point; [lifecycle] the memory-lifecycle ledger + watchdog (both
+    off by default; see {!Experiment.config}).  The fig1/fig2 wrappers
+    append one reclamation-health note per scheme when [lifecycle] is
+    set. *)
 
 val fig1_list :
-  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
-  (int * Experiment.result list) list
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> ?lifecycle:bool ->
+  speed:speed -> unit -> (int * Experiment.result list) list
 
 val fig1_skiplist :
-  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
-  (int * Experiment.result list) list
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> ?lifecycle:bool ->
+  speed:speed -> unit -> (int * Experiment.result list) list
 
 val fig2_queue :
-  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
-  (int * Experiment.result list) list
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> ?lifecycle:bool ->
+  speed:speed -> unit -> (int * Experiment.result list) list
 
 val fig2_hash :
-  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
-  (int * Experiment.result list) list
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> ?lifecycle:bool ->
+  speed:speed -> unit -> (int * Experiment.result list) list
 
 val fig3_aborts :
   ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
@@ -77,8 +81,8 @@ val stm_vs_htm :
   ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
 
 val memory_profile :
-  ?verbose:bool -> ?jobs:int -> ?profile:bool -> speed:speed -> unit ->
-  (Experiment.scheme_kind * Experiment.result) list
+  ?verbose:bool -> ?jobs:int -> ?profile:bool -> ?lifecycle:bool ->
+  speed:speed -> unit -> (Experiment.scheme_kind * Experiment.result) list
 
 val ablation_predictor :
   ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list

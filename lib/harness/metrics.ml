@@ -35,6 +35,21 @@ type sample = {
           attributable to wasted speculation in the same series. *)
 }
 
+(* Lifecycle time series: snapshots of the [Lifecycle] ledger taken by the
+   lifecycle sampler (one per scheduler quantum, when [--lifecycle] is on).
+   Kept distinct from [sample] so the machine-counter series — and the JSON
+   it feeds — is untouched when the feature is off. *)
+type lifecycle_sample = {
+  lc_time : int;
+  limbo_objects : int;  (** Retired-but-unfreed population. *)
+  limbo_words : int;  (** Footprint of that population. *)
+  live_words : int;  (** All live words (reachable + limbo). *)
+  peak_limbo_words : int;  (** Running peak of [limbo_words]. *)
+  quarantine : int;  (** Freed blocks held back from reuse. *)
+  lc_retired : int;  (** Cumulative retirements (ledger view). *)
+  lc_freed : int;  (** Cumulative frees (ledger view). *)
+}
+
 type t = { interval : int; mutable rev_samples : sample list; mutable n : int }
 
 let create ~interval =
@@ -58,3 +73,10 @@ let pp_sample ppf s =
   Format.fprintf ppf
     "[%10d] ops=%d live=%d pending=%d commits=%d aborts=%d scans=%d" s.time
     s.ops s.live_objects s.pending_frees s.commits (aborts s) s.scans
+
+let pp_lifecycle_sample ppf s =
+  Format.fprintf ppf
+    "[%10d] limbo=%d (%d words) live=%d words quarantine=%d retired=%d \
+     freed=%d"
+    s.lc_time s.limbo_objects s.limbo_words s.live_words s.quarantine
+    s.lc_retired s.lc_freed

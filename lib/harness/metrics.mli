@@ -35,6 +35,21 @@ type sample = {
           attributable to wasted speculation in the same series. *)
 }
 
+type lifecycle_sample = {
+  lc_time : int;  (** Virtual time of the snapshot. *)
+  limbo_objects : int;  (** Retired-but-unfreed population. *)
+  limbo_words : int;  (** Footprint of that population. *)
+  live_words : int;  (** All live words (reachable + limbo). *)
+  peak_limbo_words : int;  (** Running peak of [limbo_words]. *)
+  quarantine : int;  (** Freed blocks held back from reuse. *)
+  lc_retired : int;  (** Cumulative retirements (ledger view). *)
+  lc_freed : int;  (** Cumulative frees (ledger view). *)
+}
+(** One snapshot of the memory-lifecycle ledger, taken by the lifecycle
+    sampler (one per scheduler quantum when the feature is enabled).
+    Distinct from {!sample} so the machine-counter series is byte-for-byte
+    unchanged when the feature is off. *)
+
 type t
 (** An accumulating series of samples. *)
 
@@ -52,3 +67,4 @@ val aborts : sample -> int
 (** Sum of the four abort counters. *)
 
 val pp_sample : Format.formatter -> sample -> unit
+val pp_lifecycle_sample : Format.formatter -> lifecycle_sample -> unit

@@ -153,12 +153,72 @@ let of_heat_row (h : Experiment.heat_row) =
         | None -> Json_out.Null );
     ]
 
-let of_latency_hist l =
+(* Renders a precomputed sparse bucket list; [encode] calls
+   [Latency.nonzero_buckets] once per histogram and shares the result
+   between every section that needs it, instead of re-scanning the 96
+   buckets at each emit site. *)
+let hist_of_buckets buckets =
   Json_out.List
     (List.map
        (fun (low, n) ->
          Json_out.Obj [ ("low", Json_out.Int low); ("count", Json_out.Int n) ])
-       (Latency.nonzero_buckets l))
+       buckets)
+
+let of_latency_hist l = hist_of_buckets (Latency.nonzero_buckets l)
+
+let of_lifecycle_sample (s : Metrics.lifecycle_sample) =
+  Json_out.Obj
+    [
+      ("time", Json_out.Int s.lc_time);
+      ("limbo_objects", Json_out.Int s.limbo_objects);
+      ("limbo_words", Json_out.Int s.limbo_words);
+      ("live_words", Json_out.Int s.live_words);
+      ("peak_limbo_words", Json_out.Int s.peak_limbo_words);
+      ("quarantine", Json_out.Int s.quarantine);
+      ("retired", Json_out.Int s.lc_retired);
+      ("freed", Json_out.Int s.lc_freed);
+    ]
+
+let of_incident (i : Watchdog.incident) =
+  Json_out.Obj
+    [
+      ("start", Json_out.Int i.start_time);
+      ( "end",
+        if i.end_time >= 0 then Json_out.Int i.end_time else Json_out.Null );
+      ("backlog_at_start", Json_out.Int i.backlog_at_start);
+      ("peak_backlog", Json_out.Int i.peak_backlog);
+      ("stalled_observations", Json_out.Int i.stalled_observations);
+    ]
+
+let of_watchdog (w : Watchdog.report) =
+  Json_out.Obj
+    [
+      ("incidents", Json_out.Int w.n_incidents);
+      ("total_stalled_cycles", Json_out.Int w.total_stalled_cycles);
+      ("max_backlog", Json_out.Int w.max_backlog);
+      ("ongoing", Json_out.Bool w.ongoing);
+      ("observations", Json_out.Int w.n_observations);
+      ("events", Json_out.List (List.map of_incident w.incidents));
+    ]
+
+let of_lifecycle (lc : Experiment.lifecycle_summary) =
+  let lag_buckets = Latency.nonzero_buckets lc.lag_hist in
+  Json_out.Obj
+    [
+      ("allocs", Json_out.Int lc.lc_allocs);
+      ("retires", Json_out.Int lc.lc_retires);
+      ("frees", Json_out.Int lc.lc_frees);
+      ("live_at_end", Json_out.Int lc.lc_live_at_end);
+      ("limbo_at_end", Json_out.Int lc.limbo_at_end);
+      ("limbo_words_at_end", Json_out.Int lc.limbo_words_at_end);
+      ("peak_limbo_objects", Json_out.Int lc.peak_limbo_objects);
+      ("peak_limbo_words", Json_out.Int lc.peak_limbo_words);
+      ("peak_live_words", Json_out.Int lc.peak_live_words);
+      ("lag", of_latency lc.lag_hist);
+      ("lag_hist", hist_of_buckets lag_buckets);
+      ("series", Json_out.List (List.map of_lifecycle_sample lc.lc_series));
+      ("watchdog", of_watchdog lc.watchdog);
+    ]
 
 (* New sections are appended at the end and only when their feature is
    enabled, so artifacts from runs without --trace/--profile stay
@@ -177,6 +237,9 @@ let encode (r : Experiment.result) =
               Json_out.List
                 (List.map of_heat_row (Option.value ~default:[] r.heatmap)) );
           ]
+      | None -> [])
+    @ (match r.lifecycle with
+      | Some lc -> [ ("reclaim_lifecycle", of_lifecycle lc) ]
       | None -> [])
   in
   Json_out.Obj

@@ -11,7 +11,10 @@
     fields, so artifacts from runs without them are byte-identical to
     pre-profiler goldens:
     - [trace_dropped] — when the run recorded a trace ([cfg.trace]);
-    - [latency_hist], [profile], [heatmap] — when [cfg.profile] was set. *)
+    - [latency_hist], [profile], [heatmap] — when [cfg.profile] was set;
+    - [reclaim_lifecycle] — when [cfg.lifecycle] was set: the ledger
+      census, retire→free lag summary + sparse histogram, the per-quantum
+      limbo/footprint series, and the watchdog stagnation report. *)
 
 val of_config : Experiment.config -> Json_out.t
 val of_htm : St_htm.Htm_stats.t -> Json_out.t
@@ -26,6 +29,11 @@ val of_latency_hist : Latency.t -> Json_out.t
 val of_metrics_sample : Metrics.sample -> Json_out.t
 val of_profile : St_sim.Profile.snapshot -> Json_out.t
 val of_heat_row : Experiment.heat_row -> Json_out.t
+val of_lifecycle_sample : Metrics.lifecycle_sample -> Json_out.t
+val of_watchdog : St_sim.Watchdog.report -> Json_out.t
+
+val of_lifecycle : Experiment.lifecycle_summary -> Json_out.t
+(** The [reclaim_lifecycle] section. *)
 
 val encode : Experiment.result -> Json_out.t
 (** The complete result document. *)

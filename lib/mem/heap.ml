@@ -28,6 +28,7 @@ type t = {
   mutable live : int;
   mutable peak : int;
   mutable words_live : int;
+  mutable lifecycle : Lifecycle.t;
 }
 
 let poison = 0x0DEAD
@@ -56,9 +57,12 @@ let create ?(initial_words = 1 lsl 16) ?(quarantine = 128) ?(align = 4)
     live = 0;
     peak = 0;
     words_live = 0;
+    lifecycle = Lifecycle.disabled;
   }
 
 let shadow t = t.shadow
+let set_lifecycle t lc = t.lifecycle <- lc
+let lifecycle t = t.lifecycle
 
 let ensure_capacity t needed =
   let cap = Array.length t.words in
@@ -87,6 +91,7 @@ let claim t base size =
   done;
   t.obj_size.(base) <- size;
   t.birth.(base) <- t.next_birth + 1;
+  Lifecycle.on_alloc t.lifecycle ~birth:t.next_birth ~words:size;
   t.next_birth <- t.next_birth + 1;
   t.allocs <- t.allocs + 1;
   t.live <- t.live + 1;
@@ -160,6 +165,7 @@ let free t ~tid addr =
       ~addr ~tid
   else begin
     let size = t.obj_size.(addr) in
+    Lifecycle.on_free t.lifecycle ~birth:(t.birth.(addr) - 1) ~words:size;
     for i = addr to addr + size - 1 do
       t.owner.(i) <- 0;
       t.words.(i) <- poison
@@ -204,6 +210,7 @@ let peek t addr =
 
 let allocs t = t.allocs
 let frees t = t.frees
+let quarantined t = t.q_len
 let live_objects t = t.live
 let peak_live t = t.peak
 let words_in_use t = t.words_live

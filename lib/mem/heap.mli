@@ -37,6 +37,16 @@ val create :
 
 val shadow : t -> Shadow.t
 
+val set_lifecycle : t -> Lifecycle.t -> unit
+(** Attach a lifecycle ledger: [alloc] stamps each object's birth and
+    [free]'s success branch stamps its death (covering every free path,
+    including engine rollbacks of speculative allocations).  The default is
+    {!Lifecycle.disabled}, costing one load per event.  Violating frees
+    (double/bad free) never stamp — the ledger stays an exact census of
+    real objects while {!Shadow} reports the violation. *)
+
+val lifecycle : t -> Lifecycle.t
+
 (** {2 Allocation} *)
 
 val alloc : t -> tid:int -> size:int -> Word.addr
@@ -94,6 +104,9 @@ val frees : t -> int
 val live_objects : t -> int
 val peak_live : t -> int
 val words_in_use : t -> int
+
+val quarantined : t -> int
+(** Freed blocks currently held in the reuse quarantine. *)
 
 val poison : Word.value
 (** The pattern written into freed words. *)

@@ -27,29 +27,49 @@
       reference counting, drop-the-anchor) hook their per-node protection
       here — the manual, structure-specific effort the paper criticises.
       Automatic schemes (StackTrack, epoch, none) treat it as a plain
-      read. *)
+      read.
+
+    {2 The retire/free hook contract}
+
+    Uniform observability rests on two bookkeeping calls every scheme must
+    make, exactly once per event, on its own retire and free paths:
+
+    - {!note_retire} when an unlinked node is handed over for eventual
+      reclamation (for StackTrack, only once its split-segment commit makes
+      the retirement real);
+    - {!note_free} when the scheme returns that node to the allocator
+      (immediately before or after the actual [Tsx.free]/[Heap.free]).
+
+    These maintain the per-scheme counters and reclamation-lag aggregates,
+    and — when the harness has attached a run-wide [Lifecycle] ledger —
+    forward retirements to it.  Frees are deliberately {e not} forwarded
+    here: the ledger stamps them inside [Heap.free], the single funnel all
+    free paths share, so engine rollbacks of speculative allocations are
+    counted and double-stamping is impossible. *)
 
 open St_sim
 open St_mem
 open St_htm
 
-(* Shared simulation plumbing handed to every scheme. *)
+(** {1 Shared runtime} *)
+
 type runtime = {
   sched : Sched.t;
   tsx : Tsx.t;
   activity : St_machine.Activity.t;
 }
+(** Simulation plumbing handed to every scheme instance. *)
 
-let make_runtime ~sched ~tsx =
-  { sched; tsx; activity = St_machine.Activity.create () }
+val make_runtime : sched:Sched.t -> tsx:Tsx.t -> runtime
+val heap : runtime -> Heap.t
 
-let heap rt = Tsx.heap rt.tsx
+(** {1 Uniform statistics} *)
 
-(* Counters common to all schemes; figures and tests read these.  The
-   retire/free bookkeeping also measures {e reclamation lag} — the virtual
-   time between a node's retirement and its return to the allocator — which
-   distinguishes prompt schemes (immediate refcount drops) from batched
-   ones (scans) from stalling ones (epoch under delays). *)
+(** Counters common to all schemes; figures and tests read these.  The
+    retire/free bookkeeping also measures {e reclamation lag} — the virtual
+    time between a node's retirement and its return to the allocator —
+    which distinguishes prompt schemes (immediate refcount drops) from
+    batched ones (scans) from stalling ones (epoch under delays). *)
 type stats = {
   mutable retired : int;  (** Nodes handed to [retire]. *)
   mutable freed : int;  (** Nodes actually returned to the allocator. *)
@@ -62,61 +82,28 @@ type stats = {
   mutable lag_max : int;
   mutable lifecycle : Lifecycle.t;
       (** Lifecycle ledger notified of retirements (default
-          {!Lifecycle.disabled}); the harness attaches the run's ledger.
-          Frees reach the ledger through [Heap.free], not through
-          [note_free], so rollback frees are counted too and nothing is
-          double-stamped. *)
+          {!Lifecycle.disabled}); the harness attaches the run's ledger. *)
 }
 
-let make_stats () =
-  {
-    retired = 0;
-    freed = 0;
-    scans = 0;
-    scan_words = 0;
-    stall_cycles = 0;
-    protect_fences = 0;
-    retire_stamp = Hashtbl.create 64;
-    lag_sum = 0;
-    lag_max = 0;
-    lifecycle = Lifecycle.disabled;
-  }
+val make_stats : unit -> stats
 
-(* Schemes call these from their retire/free paths (in addition to their
-   own counters) so reclamation lag is measured uniformly. *)
-let note_retire stats ~now addr =
-  stats.retired <- stats.retired + 1;
-  Hashtbl.replace stats.retire_stamp addr now;
-  Lifecycle.on_retire stats.lifecycle ~now addr
+val note_retire : stats -> now:int -> int -> unit
+(** [note_retire stats ~now addr]: the node at [addr] was handed over for
+    reclamation at virtual time [now].  Every scheme's retire path calls
+    this exactly once per real retirement. *)
 
-let note_free stats ~now addr =
-  stats.freed <- stats.freed + 1;
-  match Hashtbl.find_opt stats.retire_stamp addr with
-  | Some t0 ->
-      let lag = now - t0 in
-      Hashtbl.remove stats.retire_stamp addr;
-      stats.lag_sum <- stats.lag_sum + lag;
-      if lag > stats.lag_max then stats.lag_max <- lag
-  | None -> ()
+val note_free : stats -> now:int -> int -> unit
+(** [note_free stats ~now addr]: the node at [addr] was returned to the
+    allocator.  Pairs with the pending {!note_retire} stamp to accumulate
+    the lag aggregates. *)
 
-let mean_lag stats =
-  if stats.freed = 0 then 0.
-  else float_of_int stats.lag_sum /. float_of_int stats.freed
+val mean_lag : stats -> float
 
-let merge_stats ss =
-  let acc = make_stats () in
-  List.iter
-    (fun s ->
-      acc.retired <- acc.retired + s.retired;
-      acc.freed <- acc.freed + s.freed;
-      acc.scans <- acc.scans + s.scans;
-      acc.scan_words <- acc.scan_words + s.scan_words;
-      acc.stall_cycles <- acc.stall_cycles + s.stall_cycles;
-      acc.protect_fences <- acc.protect_fences + s.protect_fences;
-      acc.lag_sum <- acc.lag_sum + s.lag_sum;
-      if s.lag_max > acc.lag_max then acc.lag_max <- s.lag_max)
-    ss;
-  acc
+val merge_stats : stats list -> stats
+(** Sum counters and lag aggregates ([retire_stamp] and [lifecycle] of the
+    result are fresh/disabled). *)
+
+(** {1 The scheme interface} *)
 
 module type S = sig
   type t

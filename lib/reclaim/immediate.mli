@@ -1,0 +1,14 @@
+(** Deliberately unsafe scheme: frees a node the instant it is retired.
+
+    Under concurrency this is incorrect — other threads may still hold
+    references — and its purpose is to prove that the shadow checker
+    actually catches unsafe reclamation (so a clean run of the safe schemes
+    means something).
+
+    Hook contract: [retire] calls [Guard.note_retire], frees on the spot
+    via [Tsx.free], and calls [Guard.note_free] — so its retire→free lag is
+    the floor every safe scheme is measured against. *)
+
+include Guard.S
+
+val create : Guard.runtime -> t

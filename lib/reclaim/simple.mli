@@ -1,0 +1,46 @@
+(** Functor factoring out everything the non-HTM schemes share.
+
+    The baselines (none, immediate, epoch, hazard pointers, reference
+    counting, drop-the-anchor) all execute operation bodies exactly once,
+    keep operation locals in a plain array, and access simulated memory
+    non-transactionally.  They differ only in the protection, retirement
+    and (for reference counting) store hooks, supplied via {!HOOKS}.
+
+    Hook obligations for the uniform bookkeeping (see the retire/free hook
+    contract in [Guard]): the supplied [retire] must call
+    [Guard.note_retire] once per retirement, and whatever path eventually
+    frees the node must call [Guard.note_free] alongside the actual
+    [Tsx.free]. *)
+
+open St_mem
+
+module type HOOKS = sig
+  type t
+  type thread
+
+  val name : string
+  val runtime : t -> Guard.runtime
+  val stats : t -> Guard.stats
+  val create_thread : t -> tid:int -> thread
+  val on_begin : thread -> op_id:int -> unit
+  val on_end : thread -> unit
+
+  val protected_read : thread -> slot:int -> Word.addr -> Word.value
+  val release : thread -> slot:int -> unit
+  val protect_value : thread -> slot:int -> Word.value -> unit
+  val retire : thread -> Word.addr -> unit
+  val quiesce : thread -> unit
+
+  val write : thread -> Word.addr -> Word.value -> unit
+  val cas : thread -> Word.addr -> expect:Word.value -> Word.value -> bool
+  (** Most schemes delegate to {!Tsx.nt_write} / {!Tsx.nt_cas}; reference
+      counting intercepts pointer stores to maintain link counts. *)
+end
+
+module Make (H : HOOKS) : sig
+  include Guard.S with type t = H.t
+
+  val hook_thread : thread -> H.thread
+  (** Unwrap the scheme-specific per-thread state (tests use this to poke
+      at hazard slots, epoch records, etc.). *)
+end

@@ -135,6 +135,11 @@ let now t =
 
 let global_time t = Array.fold_left max 0 t.clocks
 
+let now_or_global t =
+  match t.cur with
+  | Some th -> t.clocks.(th.lcore)
+  | None -> global_time t
+
 (* Every transition into Finished or Crashed must go through here exactly
    once, so the per-lcore live counts stay exact. *)
 let mark_dead t th state =

@@ -86,6 +86,12 @@ val now : t -> int
 val global_time : t -> int
 (** Max over all logical-core clocks; total makespan after {!run}. *)
 
+val now_or_global : t -> int
+(** {!now} when called from inside a thread body, {!global_time} otherwise.
+    For passive instrumentation (the memory-lifecycle ledger) that stamps
+    events both during the run and during raw setup/teardown, where no
+    simulated thread is current and every core clock is still equal. *)
+
 val crash : t -> int -> unit
 (** [crash t tid] destroys thread [tid]: it is unwound with
     {!Thread_crashed} the next time it would run, and never completes.

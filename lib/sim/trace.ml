@@ -7,7 +7,7 @@ let category_name = function
   | Reclaim -> "reclaim"
   | Engine -> "engine"
 
-type phase = Instant | Begin | End
+type phase = Instant | Begin | End | Counter
 
 type event = {
   time : int;
@@ -50,6 +50,14 @@ let span_begin t ~time ~tid category name detail =
 let span_end t ~time ~tid category name detail =
   record t ~time ~tid ~phase:End category name detail
 
+(* The value is rendered into [detail] so the event record stays a plain
+   string carrier; the Chrome exporter parses it back into a numeric
+   counter-track sample. *)
+let counter t ~time ~tid category name value =
+  if t.enabled then
+    record t ~time ~tid ~phase:Counter category name (fun () ->
+        string_of_int value)
+
 let size t = min t.next t.capacity
 let total t = t.next
 let dropped t = t.next - size t
@@ -66,7 +74,11 @@ let events t =
   iter t (fun e -> acc := e :: !acc);
   List.rev !acc
 
-let phase_marker = function Instant -> '.' | Begin -> '<' | End -> '>'
+let phase_marker = function
+  | Instant -> '.'
+  | Begin -> '<'
+  | End -> '>'
+  | Counter -> '#'
 
 let dump ?last t ppf =
   let n = size t in

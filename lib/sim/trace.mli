@@ -26,7 +26,12 @@ type category =
 val category_name : category -> string
 (** Lower-case label ("sched", "cache", "htm", "reclaim", "engine"). *)
 
-type phase = Instant | Begin | End
+type phase = Instant | Begin | End | Counter
+
+(** [Counter] events sample a numeric series (the value is carried in
+    [detail] as its decimal rendering); the Chrome exporter turns each
+    distinct [name] into a counter track.  Emitted by the memory-lifecycle
+    sampler (limbo backlog, live footprint). *)
 
 type event = {
   time : int;  (** Virtual time (cycles) on the emitting thread's core. *)
@@ -75,6 +80,10 @@ val span_begin :
 
 val span_end :
   t -> time:int -> tid:int -> category -> string -> (unit -> string) -> unit
+
+val counter : t -> time:int -> tid:int -> category -> string -> int -> unit
+(** [counter t ~time ~tid category name v] records one sample of the
+    counter track [name] with value [v] (a no-op when disabled). *)
 
 val size : t -> int
 (** Events currently retained (≤ capacity). *)

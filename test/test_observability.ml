@@ -85,7 +85,7 @@ let test_trace_spans_balanced () =
       match e.Trace.phase with
       | Trace.Begin -> bump (e.Trace.tid, e.Trace.name) 1
       | Trace.End -> bump (e.Trace.tid, e.Trace.name) (-1)
-      | Trace.Instant -> ());
+      | Trace.Instant | Trace.Counter -> ());
   Hashtbl.iter
     (fun (tid, name) n ->
       checki (Printf.sprintf "t%d %s balanced" tid name) 0 n)
