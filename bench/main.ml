@@ -6,7 +6,8 @@
 
    Targets (default: all)
      fig1-list fig1-skiplist fig2-queue fig2-hash fig3-aborts fig4-splits
-     fig5-slowpath scan-behavior ablations crash latency memory stm micro all
+     fig5-slowpath scan-behavior ablations crash robustness latency memory stm
+     micro all
 
    --jobs N runs the sweep points of each figure on a pool of N domains
    (default 1 = sequential; 0 = Domain.recommended_domain_count).  Reports
@@ -185,6 +186,9 @@ let () =
     ignore (Figures.ablation_scan ~verbose ~jobs ~speed ())
   end;
   if want "crash" then ignore (Figures.crash_resilience ~verbose ~jobs ~speed ());
+  if want "robustness" then
+    collected :=
+      !collected @ List.map snd (Figures.robustness ~verbose ~jobs ~speed ());
   if want "latency" then ignore (Figures.latency_profile ~verbose ~jobs ~speed ());
   if want "memory" then
     collected :=

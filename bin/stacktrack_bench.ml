@@ -33,6 +33,9 @@ let scheme_of_string ~forced_slow ~max_free ~hash_scan = function
   | "dta" -> Ok Experiment.Dta
   | "refcount" | "rc" -> Ok Experiment.Refcount_s
   | "immediate" -> Ok Experiment.Immediate_unsafe
+  | "debra" -> Ok Experiment.Debra
+  | "debra+" | "debra-plus" -> Ok Experiment.Debra_plus
+  | "he" | "hazard-eras" | "ibr" -> Ok Experiment.Hazard_eras
   | s -> Error (Printf.sprintf "unknown scheme %S" s)
 
 let print_result (r : Experiment.result) =
@@ -48,6 +51,12 @@ let print_result (r : Experiment.result) =
   printf "  scans/stalls        %d / %d cycles@."
     r.Experiment.reclaim.St_reclaim.Guard.scans
     r.Experiment.reclaim.St_reclaim.Guard.stall_cycles;
+  (match r.Experiment.extras with
+  | [] -> ()
+  | kvs ->
+      printf "  scheme extras       %s@."
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)));
   printf "  htm                 %a@." St_htm.Htm_stats.pp r.Experiment.htm;
   (match r.Experiment.st with
   | Some st -> printf "  stacktrack          %a@." Stacktrack.Scheme_stats.pp st
@@ -124,7 +133,7 @@ let run_cmd =
       & info [ "scheme"; "s" ] ~docv:"SCHEME"
           ~doc:
             "Reclamation scheme: original, hazards, epoch, stacktrack, dta, \
-             refcount, immediate.")
+             refcount, immediate, debra, debra+, hazard-eras.")
   in
   let threads =
     Arg.(value & opt int 8 & info [ "threads"; "t" ] ~doc:"Worker threads.")
@@ -330,7 +339,7 @@ let figures_cmd =
           ~doc:
             "Figures to reproduce: fig1-list fig1-skiplist fig2-queue \
              fig2-hash fig3-aborts fig4-splits fig5-slowpath scan-behavior \
-             ablations crash latency memory stm all.")
+             ablations crash robustness latency memory stm all.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Coarser sweeps, shorter runs.")
@@ -386,6 +395,7 @@ let figures_cmd =
       ignore (Figures.ablation_contention ~verbose ~jobs ~speed ())
     end;
     if want "crash" then ignore (Figures.crash_resilience ~verbose ~jobs ~speed ());
+    if want "robustness" then ignore (Figures.robustness ~verbose ~jobs ~speed ());
     if want "latency" then ignore (Figures.latency_profile ~verbose ~jobs ~speed ());
     if want "memory" then
       ignore (Figures.memory_profile ~verbose ~jobs ~lifecycle ~speed ());

@@ -23,6 +23,9 @@ type scheme_kind =
   | Dta
   | Refcount_s
   | Immediate_unsafe
+  | Debra
+  | Debra_plus
+  | Hazard_eras
 
 let stacktrack_default = Stacktrack_s Stacktrack.St_config.default
 
@@ -34,6 +37,9 @@ let scheme_name = function
   | Dta -> "DTA"
   | Refcount_s -> "RefCount"
   | Immediate_unsafe -> "Immediate(unsafe)"
+  | Debra -> "DEBRA"
+  | Debra_plus -> "DEBRA+"
+  | Hazard_eras -> "HazardEras"
 
 type config = {
   structure : structure;
@@ -150,6 +156,10 @@ type result = {
       (** Top-N contention heatmap, hot lines annotated with the live
           object owning them; [Some] iff [cfg.profile]. *)
   lifecycle : lifecycle_summary option;  (** [Some] iff [cfg.lifecycle]. *)
+  extras : (string * int) list;
+      (** Scheme-specific end-of-run counters (DEBRA+ neutralizations,
+          Hazard Eras era clock...); [[]] for the classic schemes, so
+          their JSON output is unchanged. *)
 }
 
 let throughput_of ~ops ~makespan =
@@ -163,9 +173,15 @@ type instance = {
   packed : packed;
   note_link : int -> unit;  (** prime link counts during raw population *)
   st_handle : Stacktrack.Engine.t option;
+  extras : unit -> (string * int) list;
+      (** Scheme-specific counters sampled at end of run (e.g. DEBRA+
+          neutralizations); empty for the classic schemes so their JSON
+          stays byte-identical. *)
 }
 
 module None_scheme = St_reclaim.None
+
+let no_extras () = []
 
 let make_instance rt = function
   | Original ->
@@ -176,6 +192,7 @@ let make_instance rt = function
               None_scheme.create rt );
         note_link = ignore;
         st_handle = None;
+        extras = no_extras;
       }
   | Hazards ->
       {
@@ -183,6 +200,7 @@ let make_instance rt = function
           Packed ((module Hazard : Guard.S with type t = Hazard.t), Hazard.create rt);
         note_link = ignore;
         st_handle = None;
+        extras = no_extras;
       }
   | Epoch ->
       {
@@ -190,6 +208,7 @@ let make_instance rt = function
           Packed ((module Epoch : Guard.S with type t = Epoch.t), Epoch.create rt);
         note_link = ignore;
         st_handle = None;
+        extras = no_extras;
       }
   | Stacktrack_s cfg ->
       let s = Stacktrack.Engine.create ~cfg rt in
@@ -200,12 +219,14 @@ let make_instance rt = function
               s );
         note_link = ignore;
         st_handle = Some s;
+        extras = no_extras;
       }
   | Dta ->
       {
         packed = Packed ((module Dta : Guard.S with type t = Dta.t), Dta.create rt);
         note_link = ignore;
         st_handle = None;
+        extras = no_extras;
       }
   | Refcount_s ->
       let s = Refcount.create rt in
@@ -213,6 +234,7 @@ let make_instance rt = function
         packed = Packed ((module Refcount : Guard.S with type t = Refcount.t), s);
         note_link = Refcount.note_initial_link s;
         st_handle = None;
+        extras = no_extras;
       }
   | Immediate_unsafe ->
       {
@@ -221,6 +243,35 @@ let make_instance rt = function
             ((module Immediate : Guard.S with type t = Immediate.t), Immediate.create rt);
         note_link = ignore;
         st_handle = None;
+        extras = no_extras;
+      }
+  | Debra ->
+      {
+        packed = Packed ((module Debra : Guard.S with type t = Debra.t), Debra.create rt);
+        note_link = ignore;
+        st_handle = None;
+        extras = no_extras;
+      }
+  | Debra_plus ->
+      let s = Debra_plus.create rt in
+      {
+        packed = Packed ((module Debra_plus : Guard.S with type t = Debra_plus.t), s);
+        note_link = ignore;
+        st_handle = None;
+        extras =
+          (fun () ->
+            [
+              ("neutralizations", Debra_plus.neutralizations s);
+              ("recoveries", Debra_plus.recoveries s);
+            ]);
+      }
+  | Hazard_eras ->
+      let s = Hazard_eras.create rt in
+      {
+        packed = Packed ((module Hazard_eras : Guard.S with type t = Hazard_eras.t), s);
+        note_link = ignore;
+        st_handle = None;
+        extras = (fun () -> [ ("era", Hazard_eras.era s) ]);
       }
 
 (* Generic duration-bounded worker: [do_op] runs one operation on the
@@ -580,4 +631,5 @@ let run cfg =
     profile = profile_snap;
     heatmap = heatmap_rows;
     lifecycle = lifecycle_summary;
+    extras = inst.extras ();
   }

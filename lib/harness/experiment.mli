@@ -20,6 +20,9 @@ type scheme_kind =
   | Dta
   | Refcount_s
   | Immediate_unsafe
+  | Debra  (** Distributed EBR: per-thread limbo bags, O(1)/op checks. *)
+  | Debra_plus  (** {!Debra} + neutralization of stalled threads. *)
+  | Hazard_eras  (** Era intervals; bounded backlog under crashes. *)
 
 val stacktrack_default : scheme_kind
 (** [Stacktrack_s St_config.default]. *)
@@ -126,6 +129,11 @@ type result = {
   heatmap : heat_row list option;
       (** Top-N contention heatmap; [Some] iff [cfg.profile]. *)
   lifecycle : lifecycle_summary option;  (** [Some] iff [cfg.lifecycle]. *)
+  extras : (string * int) list;
+      (** Scheme-specific end-of-run counters — DEBRA+ reports
+          [neutralizations]/[recoveries], Hazard Eras its final [era];
+          [[]] for the classic schemes, so their JSON output (and the
+          committed goldens) are unchanged. *)
 }
 
 val throughput_of : ops:int -> makespan:int -> float

@@ -748,3 +748,97 @@ let crash_resilience ?(verbose = false) ?(jobs = 1) ~speed:_ () =
         live viol)
     rows;
   rows
+
+(* ------------------------------------------------------------------ *)
+(* Stalled-thread robustness: the modern-SMR contrast figure           *)
+(* ------------------------------------------------------------------ *)
+
+let robustness_schemes =
+  [ Epoch; Debra; Debra_plus; Hazard_eras; stacktrack_default ]
+
+(* One thread crashes mid-operation at 25% of the run; the lifecycle
+   ledger samples the limbo backlog every quantum.  The per-scheme curves
+   are the figure: Epoch and DEBRA stop reclaiming at the crash (the
+   corpse pins the epoch — unbounded backlog, an open watchdog incident),
+   DEBRA+ neutralizes the corpse and recovers, Hazard Eras and StackTrack
+   only ever pin what the corpse could reach and stay bounded. *)
+let robustness ?(verbose = false) ?(jobs = 1) ~speed () =
+  let base =
+    let d = duration speed * 3 in
+    {
+      (list_config speed) with
+      mutation_pct = 80;
+      key_range = 256;
+      init_size = 128;
+      threads = 8;
+      duration = d;
+      crash_tids = [ 0 ];
+      lifecycle = true;
+    }
+  in
+  let schemes = robustness_schemes in
+  let results =
+    run_many ~jobs (List.map (fun scheme -> { base with scheme }) schemes)
+  in
+  let per_scheme =
+    List.map2
+      (fun scheme (r : Experiment.result) ->
+        if verbose then Report.run_line r;
+        assert (r.violations = 0);
+        (scheme, r))
+      schemes results
+  in
+  Report.header
+    ~title:"Robustness -- limbo backlog under a stalled thread (list)"
+    ~subtitle:
+      "thread 0 crashes mid-op at 25%; retired-but-unfreed objects over time";
+  let series_of (r : Experiment.result) =
+    match r.lifecycle with Some lc -> lc.lc_series | None -> []
+  in
+  let n_samples =
+    List.fold_left
+      (fun acc (_, r) -> max acc (List.length (series_of r)))
+      0 per_scheme
+  in
+  let columns = List.map (fun (s, _) -> scheme_name s) per_scheme in
+  let rows =
+    List.init n_samples (fun i ->
+        let t =
+          match List.nth_opt (series_of (snd (List.hd per_scheme))) i with
+          | Some s -> s.Metrics.lc_time
+          | None -> 0
+        in
+        ( t,
+          List.map
+            (fun (_, r) ->
+              match List.nth_opt (series_of r) i with
+              | Some s -> float_of_int s.Metrics.limbo_objects
+              | None -> Float.nan)
+            per_scheme ))
+  in
+  Report.series ~x_label:"time" ~columns rows;
+  Report.csv ~name:"robustness_limbo" ~x_label:"time" ~columns rows;
+  List.iter
+    (fun (scheme, (r : Experiment.result)) ->
+      match r.lifecycle with
+      | None -> ()
+      | Some lc ->
+          let wd = lc.watchdog in
+          let extras =
+            match r.extras with
+            | [] -> ""
+            | kvs ->
+                " | "
+                ^ String.concat " "
+                    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)
+          in
+          Report.note
+            "%-12s limbo peak=%d end=%d | freed=%d/%d | watchdog: %d \
+             incident(s)%s%s"
+            (scheme_name scheme) lc.peak_limbo_objects lc.limbo_at_end
+            r.reclaim.St_reclaim.Guard.freed r.reclaim.St_reclaim.Guard.retired
+            wd.St_sim.Watchdog.n_incidents
+            (if wd.St_sim.Watchdog.ongoing then ", ongoing at exit" else "")
+            extras)
+    per_scheme;
+  per_scheme

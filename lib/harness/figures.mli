@@ -98,3 +98,17 @@ val crash_resilience :
   ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
   (string * int * int * int) list
 (** (scheme, frees, live-at-end, violations) per scheme. *)
+
+val robustness_schemes : Experiment.scheme_kind list
+(** Epoch, DEBRA, DEBRA+, HazardEras, StackTrack — the columns of the
+    stalled-thread robustness figure. *)
+
+val robustness :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (Experiment.scheme_kind * Experiment.result) list
+(** Stalled-thread robustness: thread 0 crashes mid-operation at 25% of
+    the run with the lifecycle ledger on; prints the per-scheme limbo
+    backlog time series (+ CSV) and one watchdog/extras note per scheme.
+    Epoch and DEBRA stagnate (unbounded backlog, ongoing incident),
+    DEBRA+ recovers via neutralization, Hazard Eras and StackTrack stay
+    bounded. *)

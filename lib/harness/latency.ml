@@ -17,8 +17,11 @@ let n_buckets = 96
 let create () =
   { buckets = Array.make n_buckets 0; count = 0; sum = 0; max_v = 0 }
 
-(* Half-power-of-two buckets: value v lands in bucket
-   floor(2 * log2 v), giving ~41% resolution across 2^48. *)
+(* Half-power-of-two buckets: bucket 0 holds v <= 1, then bucket
+   2*floor(log2 v) + halfbit - 1, giving ~41% resolution across 2^48.
+   The -1 keeps every index reachable: without it bucket 1 (which would
+   need lg = 0 with a half bit) can never be produced, and the unused
+   index forces two buckets to share a lower bound. *)
 let bucket_of v =
   if v <= 1 then 0
   else begin
@@ -27,16 +30,22 @@ let bucket_of v =
       incr lg;
       x := !x lsr 1
     done;
-    (* lg = floor(log2 v); refine with the half step. *)
-    let base = 2 * !lg in
-    let idx = if v land (1 lsl (!lg - 1)) <> 0 && !lg >= 1 then base + 1 else base in
-    min (n_buckets - 1) idx
+    (* lg = floor(log2 v) >= 1; refine with the half step. *)
+    let half = if v land (1 lsl (!lg - 1)) <> 0 then 1 else 0 in
+    min (n_buckets - 1) ((2 * !lg) + half - 1)
   end
 
+(* Lower bounds 0, 2, 3, 4, 6, 8, 12, ... — strictly increasing, and
+   [bucket_low (bucket_of v) <= v < bucket_low (bucket_of v + 1)] for
+   every non-saturating bucket. *)
 let bucket_low i =
-  let lg = i / 2 in
-  let base = 1 lsl lg in
-  if i land 1 = 0 then base else base + (base lsr 1)
+  if i <= 0 then 0
+  else begin
+    let j = i + 1 in
+    let lg = j / 2 in
+    let base = 1 lsl lg in
+    if j land 1 = 0 then base else base + (base lsr 1)
+  end
 
 let record t v =
   let v = max 0 v in

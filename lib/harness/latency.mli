@@ -21,12 +21,16 @@ val record : t -> int -> unit
 (** Record one latency value (negative values clamp to 0). *)
 
 val bucket_of : int -> int
-(** Bucket index for a value: 0 for v ≤ 1, then half-power-of-two steps,
-    capped at [n_buckets - 1]. *)
+(** Bucket index for a value: 0 for v ≤ 1, then half-power-of-two steps
+    ([2*floor(log2 v) + halfbit - 1]), capped at [n_buckets - 1].  Every
+    index in [0, n_buckets) is reachable. *)
 
 val bucket_low : int -> int
 (** Smallest value mapping to bucket [i] (the bucket's lower bound);
-    percentiles report this bound. *)
+    percentiles report this bound.  Strictly increasing in [i], with
+    [bucket_low 0 = 0] and
+    [bucket_low (bucket_of v) <= v < bucket_low (bucket_of v + 1)] for
+    every value below the saturating last bucket. *)
 
 val count : t -> int
 val max_value : t -> int

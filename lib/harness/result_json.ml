@@ -241,6 +241,16 @@ let encode (r : Experiment.result) =
     @ (match r.lifecycle with
       | Some lc -> [ ("reclaim_lifecycle", of_lifecycle lc) ]
       | None -> [])
+    @
+    (* Only the modern schemes (DEBRA+, Hazard Eras) report extras, so
+       classic-scheme artifacts stay byte-identical to their goldens. *)
+    match r.extras with
+    | [] -> []
+    | kvs ->
+        [
+          ( "scheme_extras",
+            Json_out.Obj (List.map (fun (k, v) -> (k, Json_out.Int v)) kvs) );
+        ]
   in
   Json_out.Obj
     ([

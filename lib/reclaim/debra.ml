@@ -1,0 +1,223 @@
+(** DEBRA (Brown, PODC 2015): distributed epoch-based reclamation with
+    amortized constant-time instrumentation.
+
+    Like classic epoch reclamation, each thread announces "inside an
+    operation at epoch e" on operation begin and "quiescent" on operation
+    end (one store each).  Unlike classic epoch reclamation nobody ever
+    spin-waits for a grace period: retired nodes go into one of three
+    per-thread limbo bags indexed by epoch, and advancing the global epoch
+    is amortized — each operation checks {e one} other thread's
+    announcement (a rotating index), and a thread that has seen every peer
+    either quiescent or announced at the current epoch bumps the epoch.
+    When a thread observes a new epoch at operation begin it rotates its
+    bags, freeing the bag two epochs old in one batch.
+
+    Per-operation overhead is therefore O(1): one epoch load, one
+    announcement store, one peer-announcement load — cheaper than hazard
+    pointers by a factor of the traversal length, and competitive with
+    plain epochs while distributing the reclamation work.
+
+    The failure mode is inherited from epochs, and deliberately kept: a
+    thread that crashes (or stalls forever) while announced inside an
+    operation blocks the epoch-advance check at its rotating-index
+    position for every peer, the epoch never advances again, and limbo
+    bags grow without bound.  DEBRA+ ({!Debra_plus}) closes exactly this
+    hole with neutralization signals. *)
+
+open St_sim
+open St_mem
+open St_htm
+
+(* announce.(tid) = (last observed epoch lsl 1) lor (1 if inside an op) *)
+
+type scheme = {
+  rt : Guard.runtime;
+  stats : Guard.stats;
+  mutable epoch : int; (* global epoch clock *)
+  announce : int array; (* indexed by tid *)
+  registered : int Vec.t; (* tids, in registration order *)
+}
+
+let bags_count = 3
+
+module Hooks = struct
+  type t = scheme
+
+  type thread = {
+    s : scheme;
+    tid : int;
+    bags : Word.addr Vec.t array; (* limbo bags, indexed by epoch mod 3 *)
+    mutable my_epoch : int; (* epoch the bags are synced to *)
+    mutable check_idx : int; (* rotating peer index for amortized advance *)
+  }
+
+  let name = "debra"
+  let runtime t = t.rt
+  let stats t = t.stats
+
+  let create_thread s ~tid =
+    (* Dedupe: a re-registered tid must not be checked twice per round. *)
+    if not (Vec.exists (fun t -> t = tid) s.registered) then
+      Vec.push s.registered tid;
+    {
+      s;
+      tid;
+      bags = Array.init bags_count (fun _ -> Vec.create ());
+      my_epoch = 0;
+      check_idx = 0;
+    }
+
+  (* Free one limbo bag in a batch.  Nodes are popped before each free so
+     an unwind mid-batch (thread crash, or DEBRA+ neutralization) can
+     never double-free on the restarted operation's re-rotation. *)
+  let free_bag th bag =
+    let s = th.s in
+    let sched = s.rt.Guard.sched in
+    let pending = Vec.length bag in
+    if pending > 0 then begin
+      let tr = Sched.trace sched in
+      if Trace.on tr then
+        Trace.span_begin tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+          "scan" (fun () -> Printf.sprintf "pending=%d" pending);
+      s.stats.Guard.scans <- s.stats.Guard.scans + 1;
+      let profile = Sched.profile sched in
+      Profile.push_mode profile ~tid:th.tid Profile.Reclaim_scan;
+      Fun.protect
+        ~finally:(fun () -> Profile.pop_mode profile ~tid:th.tid)
+        (fun () ->
+          while Vec.length bag > 0 do
+            let addr = Vec.get bag (Vec.length bag - 1) in
+            Vec.truncate bag (Vec.length bag - 1);
+            Tsx.free s.rt.Guard.tsx addr;
+            Guard.note_free s.stats ~now:(Sched.now sched) addr
+          done);
+      if Trace.on tr then
+        Trace.span_end tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+          "scan" (fun () -> Printf.sprintf "freed=%d held=0" pending)
+    end
+
+  (* Advance this thread's view of the epoch to [e], freeing each bag as
+     its index comes around again (its contents are then three epochs
+     old; two would already suffice). *)
+  let sync_bags th e =
+    if e > th.my_epoch then begin
+      if e - th.my_epoch >= bags_count then
+        Array.iter (fun bag -> free_bag th bag) th.bags
+      else
+        for m = th.my_epoch + 1 to e do
+          free_bag th th.bags.(m mod bags_count)
+        done;
+      th.my_epoch <- e;
+      th.check_idx <- 0
+    end
+
+  (* The amortized epoch-advance check: inspect a single peer per
+     operation.  Quiescent peers and peers announced at [e] pass; once
+     every peer has passed for the same epoch, bump the global clock.  A
+     peer stuck announced below [e] (preempted for a long time, or
+     crashed) parks the rotating index on itself — the DEBRA stall. *)
+  let advance_check th e =
+    let s = th.s in
+    let sched = s.rt.Guard.sched in
+    let costs = Sched.costs sched in
+    let n = Vec.length s.registered in
+    if n > 0 then begin
+      if th.check_idx >= n then th.check_idx <- 0;
+      let peer = Vec.get s.registered th.check_idx in
+      let a = s.announce.(peer) in
+      Sched.consume sched costs.load;
+      s.stats.Guard.scan_words <- s.stats.Guard.scan_words + 1;
+      if peer = th.tid || a land 1 = 0 || a asr 1 >= e then begin
+        th.check_idx <- th.check_idx + 1;
+        if th.check_idx >= n && s.epoch = e then begin
+          (* Saw every peer quiescent or at [e]: advance the clock. *)
+          s.epoch <- e + 1;
+          th.check_idx <- 0;
+          Sched.consume sched costs.cas
+        end
+      end
+    end
+
+  let on_begin th ~op_id:_ =
+    let s = th.s in
+    let sched = s.rt.Guard.sched in
+    let costs = Sched.costs sched in
+    let e = s.epoch in
+    Sched.consume sched costs.load;
+    if e <> th.my_epoch then sync_bags th e;
+    s.announce.(th.tid) <- (e lsl 1) lor 1;
+    Sched.consume sched costs.store;
+    advance_check th e
+
+  let on_end th =
+    let s = th.s in
+    (* Quiescent announcement first, then the charge: the store is already
+       visible at the thread's next suspension point, so a neutralizer
+       (DEBRA+) deciding synchronously never signals a finished body. *)
+    s.announce.(th.tid) <- th.my_epoch lsl 1;
+    Sched.consume s.rt.Guard.sched (Sched.costs s.rt.Guard.sched).store
+
+  let protected_read th ~slot:_ addr = Tsx.nt_read th.s.rt.Guard.tsx addr
+  let release _ ~slot:_ = ()
+  let protect_value _ ~slot:_ _ = ()
+
+  let retire th addr =
+    let s = th.s in
+    let sched = s.rt.Guard.sched in
+    let tr = Sched.trace sched in
+    let bag = th.bags.(th.my_epoch mod bags_count) in
+    if Trace.on tr then
+      Trace.instant tr ~time:(Sched.now sched) ~tid:th.tid Trace.Reclaim
+        "retire" (fun () ->
+          Printf.sprintf "addr=%d pending=%d" addr (Vec.length bag + 1));
+    Guard.note_retire s.stats ~now:(Sched.now sched) addr;
+    Vec.push bag addr
+
+  (* Between-operations drain: with no peer announced inside an operation
+     the epoch can be advanced directly; three rounds cycle every bag out.
+     A peer stuck inside an operation (crashed) blocks this too —
+    quiescing cannot recover what the epoch cannot prove dead. *)
+  let quiesce th =
+    let s = th.s in
+    let sched = s.rt.Guard.sched in
+    let costs = Sched.costs sched in
+    if Array.exists (fun bag -> Vec.length bag > 0) th.bags then
+      let blocked = ref false in
+      for _round = 1 to bags_count do
+        if not !blocked then begin
+          let e = s.epoch in
+          Sched.consume sched costs.load;
+          sync_bags th e;
+          for i = 0 to Vec.length s.registered - 1 do
+            let peer = Vec.get s.registered i in
+            Sched.consume sched costs.load;
+            s.stats.Guard.scan_words <- s.stats.Guard.scan_words + 1;
+            let a = s.announce.(peer) in
+            if peer <> th.tid && a land 1 = 1 && a asr 1 < e then
+              blocked := true
+          done;
+          if not !blocked then begin
+            if s.epoch = e then begin
+              s.epoch <- e + 1;
+              Sched.consume sched costs.cas
+            end;
+            sync_bags th s.epoch
+          end
+        end
+      done
+
+  let alloc th ~size = Tsx.alloc th.s.rt.Guard.tsx ~size
+  let write th addr v = Tsx.nt_write th.s.rt.Guard.tsx addr v
+  let cas th addr ~expect v = Tsx.nt_cas th.s.rt.Guard.tsx addr ~expect v
+end
+
+include Simple.Make (Hooks)
+
+let create rt =
+  {
+    rt;
+    stats = Guard.make_stats ();
+    epoch = 0;
+    announce = Array.make 256 0;
+    registered = Vec.create ();
+  }

@@ -1,0 +1,13 @@
+(** DEBRA (Brown, PODC 2015): distributed epoch-based reclamation with
+    per-thread limbo bags and amortized O(1) per-operation epoch
+    bookkeeping — one epoch load, one announcement store, one rotating
+    peer check.
+
+    Inherits (deliberately) the epoch failure mode: a thread that crashes
+    while announced inside an operation blocks epoch advancement forever
+    and limbo bags grow without bound.  {!Debra_plus} adds the
+    neutralization recovery path. *)
+
+include Guard.S
+
+val create : Guard.runtime -> t

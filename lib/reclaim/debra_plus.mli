@@ -1,0 +1,21 @@
+(** DEBRA+ (Brown, PODC 2015): {!Debra} plus neutralization.  A reclaimer
+    whose amortized epoch-advance check stays parked on a peer announced
+    at an old epoch for [patience] cycles delivers a simulated signal
+    ({!Sched.signal}); the handler marks the victim quiescent and the
+    victim — if still alive — unwinds and restarts its operation
+    ({!Simple.Make_recoverable}).  Crashed threads stop pinning the epoch,
+    so limbo backlog stays bounded where epoch/DEBRA grow without bound. *)
+
+include Guard.S
+
+val create : ?patience:int -> Guard.runtime -> t
+(** [patience] (default 100_000 cycles) is how long the advance check
+    tolerates a peer pinned below the current epoch before neutralizing
+    it. *)
+
+val neutralizations : t -> int
+(** Signals delivered to stalled peers so far. *)
+
+val recoveries : t -> int
+(** Operation restarts observed by live neutralized victims (a crashed
+    victim is neutralized but never restarts). *)

@@ -60,7 +60,8 @@ module Hooks = struct
   let stats t = t.stats
 
   let create_thread s ~tid =
-    s.registered <- tid :: s.registered;
+    (* Dedupe: a re-registered tid must not be scanned twice. *)
+    if not (List.mem tid s.registered) then s.registered <- tid :: s.registered;
     {
       s;
       tid;
@@ -238,6 +239,7 @@ module Hooks = struct
     if Vec.length th.buffer >= th.s.batch then reclaim th
 
   let quiesce th = if Vec.length th.buffer > 0 then reclaim th
+  let alloc th ~size = Tsx.alloc th.s.rt.Guard.tsx ~size
   let write th addr v = Tsx.nt_write th.s.rt.Guard.tsx addr v
   let cas th addr ~expect v = Tsx.nt_cas th.s.rt.Guard.tsx addr ~expect v
 end

@@ -45,7 +45,18 @@
     forward retirements to it.  Frees are deliberately {e not} forwarded
     here: the ledger stamps them inside [Heap.free], the single funnel all
     free paths share, so engine rollbacks of speculative allocations are
-    counted and double-stamping is impossible. *)
+    counted and double-stamping is impossible.
+
+    Era-stamping schemes (Hazard Eras) keep their own birth/retire era
+    side tables keyed by [Heap.birth_ix], the same monotone index the
+    [Lifecycle] ledger uses for its timestamp arrays.  The two
+    bookkeepings compose without coordination: both are written on the
+    alloc/retire/free funnels above, both tolerate index reuse because a
+    freed base's [birth_ix] is retired with it, and neither reads the
+    other — so era schemes satisfy the ledger's [allocs = frees + live]
+    conservation cross-check exactly like the classic schemes, and the
+    lifecycle limbo series measures era-bounded backlog with no
+    scheme-specific plumbing. *)
 
 open St_sim
 open St_mem

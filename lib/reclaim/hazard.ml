@@ -43,7 +43,8 @@ module Hooks = struct
   let stats t = t.stats
 
   let create_thread s ~tid =
-    s.registered <- tid :: s.registered;
+    (* Dedupe: a re-registered tid must not be scanned twice. *)
+    if not (List.mem tid s.registered) then s.registered <- tid :: s.registered;
     {
       s;
       tid;
@@ -75,10 +76,19 @@ module Hooks = struct
     let s = th.s in
     let sched = s.rt.Guard.sched in
     let costs = Sched.costs sched in
-    let rec attempt () =
+    let rec attempt ~published =
       let v = Tsx.nt_read s.rt.Guard.tsx addr in
       let p = Word.unmark v in
-      if not (p >= Word.heap_base) then v
+      if not (p >= Word.heap_base) then begin
+        (* If a retry landed here, the slot still holds the pointer whose
+           validation just failed — a dead node.  Drop it, or it stays
+           protected (and unreclaimable) until op end. *)
+        if published then begin
+          clear_slot th slot;
+          th.used_slots.(slot) <- false
+        end;
+        v
+      end
       else begin
         s.hazards.(th.tid).(slot) <- p;
         th.used_slots.(slot) <- true;
@@ -86,10 +96,10 @@ module Hooks = struct
         Tsx.fence s.rt.Guard.tsx;
         s.stats.Guard.protect_fences <- s.stats.Guard.protect_fences + 1;
         let v' = Tsx.nt_read s.rt.Guard.tsx addr in
-        if v' = v then v else attempt ()
+        if v' = v then v else attempt ~published:true
       end
     in
-    attempt ()
+    attempt ~published:false
 
   let release th ~slot = clear_slot th slot
 
@@ -160,6 +170,7 @@ module Hooks = struct
     if Vec.length th.buffer >= th.s.batch then scan th
 
   let quiesce th = if Vec.length th.buffer > 0 then scan th
+  let alloc th ~size = Tsx.alloc th.s.rt.Guard.tsx ~size
   let write th addr v = Tsx.nt_write th.s.rt.Guard.tsx addr v
   let cas th addr ~expect v = Tsx.nt_cas th.s.rt.Guard.tsx addr ~expect v
 end

@@ -1,0 +1,17 @@
+(** Hazard Eras / interval-based reclamation (Ramalhete & Correia 2017;
+    Wen et al. 2018): nodes are stamped with birth and retire eras, and
+    readers publish one era interval per thread instead of one hazard
+    pointer per node — the publish fence is paid only when the global era
+    moved, amortizing hazard-pointer protection over era ticks.  A
+    crashed thread only pins nodes born before its frozen interval, so
+    the backlog stays bounded. *)
+
+include Guard.S
+
+val create : ?batch:int -> ?era_freq:int -> Guard.runtime -> t
+(** [batch] (default 16) is the retirement count that triggers a scan;
+    [era_freq] (default 8) is the number of retirements (global, across
+    threads) between era-clock ticks. *)
+
+val era : t -> int
+(** Current global era (starts at 1). *)

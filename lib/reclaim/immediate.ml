@@ -22,6 +22,8 @@ module Hooks = struct
   let release _ ~slot:_ = ()
   let protect_value _ ~slot:_ _ = ()
 
+  let alloc th ~size = Tsx.alloc th.rt.Guard.tsx ~size
+
   let retire th addr =
     let now = Sched.now th.rt.Guard.sched in
     Guard.note_retire th.stats ~now addr;

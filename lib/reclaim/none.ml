@@ -19,6 +19,7 @@ module Hooks = struct
   let protected_read th ~slot:_ addr = Tsx.nt_read th.rt.Guard.tsx addr
   let release _ ~slot:_ = ()
   let protect_value _ ~slot:_ _ = ()
+  let alloc th ~size = Tsx.alloc th.rt.Guard.tsx ~size
   let retire th addr =
     Guard.note_retire th.stats ~now:(Sched.now th.rt.Guard.sched) addr
   let quiesce _ = ()

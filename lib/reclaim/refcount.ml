@@ -157,6 +157,7 @@ module Hooks = struct
     if count s addr = 0 then free s ~tid:th.tid addr;
     Sched.consume s.rt.Guard.sched (Sched.costs s.rt.Guard.sched).fetch_add
 
+  let alloc th ~size = Tsx.alloc th.s.rt.Guard.tsx ~size
   let quiesce _ = ()
 end
 

@@ -24,20 +24,21 @@ module type HOOKS = sig
   val protected_read : thread -> slot:int -> Word.addr -> Word.value
   val release : thread -> slot:int -> unit
   val protect_value : thread -> slot:int -> Word.value -> unit
+  val alloc : thread -> size:int -> Word.addr
   val retire : thread -> Word.addr -> unit
   val quiesce : thread -> unit
 
   val write : thread -> Word.addr -> Word.value -> unit
   val cas : thread -> Word.addr -> expect:Word.value -> Word.value -> bool
   (** Most schemes delegate to {!Tsx.nt_write} / {!Tsx.nt_cas}; reference
-      counting intercepts pointer stores to maintain link counts. *)
+      counting intercepts pointer stores to maintain link counts.
+      Likewise most [alloc] hooks delegate to {!Tsx.alloc}; the era
+      schemes stamp the node's birth era on the way out. *)
 end
 
-module Make (H : HOOKS) : sig
-  include Guard.S with type t = H.t
-
-  val hook_thread : thread -> H.thread
-end = struct
+(* Unsealed implementation shared by [Make] and [Make_recoverable]; the
+   sealed functors below pick an operation-wrapper discipline on top. *)
+module Impl (H : HOOKS) = struct
   type t = H.t
 
   type thread = {
@@ -86,8 +87,46 @@ end = struct
     Sched.consume env.rt.Guard.sched (Sched.costs env.rt.Guard.sched).local_op
 
   let rand env bound = Rng.int env.rng bound
-  let alloc env ~size = Tsx.alloc env.rt.Guard.tsx ~size
+  let alloc env ~size = H.alloc env.h ~size
   let retire env addr = H.retire env.h addr
   let quiesce th = H.quiesce th.h
   let stats = H.stats
+end
+
+module Make (H : HOOKS) : sig
+  include Guard.S with type t = H.t
+
+  val hook_thread : thread -> H.thread
+end =
+  Impl (H)
+
+module Make_recoverable (H : HOOKS) : sig
+  include Guard.S with type t = H.t
+
+  val hook_thread : thread -> H.thread
+end = struct
+  include Impl (H)
+
+  (* Like [Impl.run_op], but catches the simulated-signal unwind
+     ([Sched.Signal_interrupt]) delivered by a neutralizing reclaimer and
+     restarts the operation from scratch: re-announce ([on_begin]), clear
+     the frame locals, re-run the body.  The interrupted attempt never
+     resumes, so references it held are dead — which is what makes the
+     neutralizer's quiescent-announcement of this thread sound.  A scheme
+     using this wrapper must only deliver signals to threads that are
+     announced as inside an operation (between [on_begin]'s announcement
+     and [on_end]'s quiescence), so a completed body is never re-run. *)
+  let run_op th ~op_id f =
+    let rec attempt () =
+      match
+        H.on_begin th.h ~op_id;
+        Array.fill th.locals 0 (Array.length th.locals) 0;
+        let r = f th in
+        H.on_end th.h;
+        r
+      with
+      | r -> r
+      | exception Sched.Signal_interrupt -> attempt ()
+    in
+    attempt ()
 end

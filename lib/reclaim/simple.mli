@@ -28,13 +28,16 @@ module type HOOKS = sig
   val protected_read : thread -> slot:int -> Word.addr -> Word.value
   val release : thread -> slot:int -> unit
   val protect_value : thread -> slot:int -> Word.value -> unit
+  val alloc : thread -> size:int -> Word.addr
   val retire : thread -> Word.addr -> unit
   val quiesce : thread -> unit
 
   val write : thread -> Word.addr -> Word.value -> unit
   val cas : thread -> Word.addr -> expect:Word.value -> Word.value -> bool
   (** Most schemes delegate to {!Tsx.nt_write} / {!Tsx.nt_cas}; reference
-      counting intercepts pointer stores to maintain link counts. *)
+      counting intercepts pointer stores to maintain link counts.
+      Likewise most [alloc] hooks delegate to {!Tsx.alloc}; the era
+      schemes (Hazard Eras) stamp the node's birth era on the way out. *)
 end
 
 module Make (H : HOOKS) : sig
@@ -44,3 +47,15 @@ module Make (H : HOOKS) : sig
   (** Unwrap the scheme-specific per-thread state (tests use this to poke
       at hazard slots, epoch records, etc.). *)
 end
+
+module Make_recoverable (H : HOOKS) : sig
+  include Guard.S with type t = H.t
+
+  val hook_thread : thread -> H.thread
+end
+(** Like {!Make}, but [run_op] catches {!Sched.Signal_interrupt} — the
+    unwind a neutralizing reclaimer (DEBRA+) delivers to a stalled thread —
+    and restarts the operation from scratch: [on_begin] again, fresh frame
+    locals, body re-run.  Hooks used with this wrapper must only signal
+    threads announced as inside an operation, so a completed body is never
+    re-executed. *)

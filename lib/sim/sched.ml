@@ -2,6 +2,7 @@ open Effect
 open Effect.Deep
 
 exception Thread_crashed
+exception Signal_interrupt
 
 type _ Effect.t += Consume : int -> unit Effect.t
 
@@ -13,6 +14,10 @@ type state =
   | Crashed
   | Doomed of (unit, unit) continuation
       (* crash requested while suspended; discontinued when next picked *)
+  | Signalled of (unit, unit) continuation
+      (* signal delivered while suspended; discontinued with
+         [Signal_interrupt] when next picked, modelling siglongjmp out of
+         the interrupted operation *)
 
 type thread = {
   tid : int;
@@ -25,6 +30,9 @@ type thread = {
          scheduler's own ledger, kept independent of Profile's accounting
          so the conservation invariant compares two separate sums *)
   rng : Rng.t;
+  mutable signal_handler : (unit -> unit) option;
+      (* runs synchronously at delivery (in the sender's context — the
+         simulated handler only mutates shared scheme state) *)
   mutable self_opt : thread option;
       (* == Some this, built once at registration: [dispatch] runs once per
          cycle charge, and assigning a fresh [Some th] there was a minor
@@ -101,6 +109,7 @@ let add_thread t body =
       slice_used = 0;
       consumed = 0;
       rng = Rng.split t.rng;
+      signal_handler = None;
       self_opt = None;
     }
   in
@@ -172,7 +181,9 @@ let crash t tid =
   | Not_started _ ->
       fire_preempt t tid;
       mark_dead t th Crashed
-  | Suspended k ->
+  | Suspended k | Signalled k ->
+      (* A crash beats a pending signal: the victim dies before the
+         handler's unwind would have resumed it. *)
       fire_preempt t tid;
       th.state <- Doomed k
   | Doomed _ -> ()
@@ -181,6 +192,31 @@ let crash t tid =
       fire_preempt t tid;
       mark_dead t th Crashed;
       raise Thread_crashed)
+
+(* Simulated POSIX signal (the DEBRA+ neutralization primitive).  The
+   registered handler runs synchronously at delivery — in the sim it only
+   mutates shared scheme state, which is exactly what a real handler
+   running on the victim's stack would publish.  If the victim is merely
+   suspended (preempted), its continuation is additionally replaced so the
+   interrupted operation unwinds with [Signal_interrupt] at its next
+   resume, modelling siglongjmp out of the operation: the in-flight
+   operation never completes, so it can never touch memory reclaimed after
+   neutralization.  Crashed/doomed/finished victims never resume, so the
+   handler's shared-state mutation is all that is delivered. *)
+let set_signal_handler t ~tid f = t.arr.(tid).signal_handler <- Some f
+
+let signal t tid =
+  let th = t.arr.(tid) in
+  if Trace.on t.trace then
+    Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid Trace.Sched "signal"
+      Trace.no_detail;
+  (match th.signal_handler with Some f -> f () | None -> ());
+  match th.state with
+  | Suspended k -> th.state <- Signalled k
+  | Signalled _ | Not_started _ | Finished | Crashed | Doomed _ -> ()
+  | Running ->
+      (* Self-signal: unwind immediately. *)
+      raise Signal_interrupt
 
 (* The payload is never examined by the handler; performing a preallocated
    effect value saves one allocation per cycle charge. *)
@@ -317,6 +353,11 @@ let dispatch t th =
       th.state <- Running;
       (* Unwind with Thread_crashed; the handler marks it Crashed. *)
       discontinue k Thread_crashed
+  | Signalled k ->
+      th.state <- Running;
+      (* Unwind with Signal_interrupt; a recovery-capable scheme catches
+         it inside its operation wrapper and restarts the operation. *)
+      discontinue k Signal_interrupt
   | Running | Finished | Crashed -> assert false);
   t.cur <- None
 

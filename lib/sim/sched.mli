@@ -21,6 +21,13 @@ type t
 exception Thread_crashed
 (** Raised inside a fiber that is being destroyed by {!crash}. *)
 
+exception Signal_interrupt
+(** Raised inside a fiber that was {!signal}led while suspended, at its
+    next resume point — the simulated siglongjmp out of the interrupted
+    operation.  Unlike {!Thread_crashed} it is meant to be caught: a
+    recovery-capable scheme (DEBRA+) catches it in its operation wrapper
+    and restarts the operation on the recovery path. *)
+
 val create :
   ?topology:Topology.t ->
   ?costs:Costs.t ->
@@ -99,6 +106,29 @@ val crash : t -> int -> unit
 
 val crashed : t -> int -> bool
 val finished : t -> int -> bool
+
+val set_signal_handler : t -> tid:int -> (unit -> unit) -> unit
+(** Register the simulated signal handler for thread [tid].  The handler
+    runs synchronously when {!signal} is delivered — in the simulation it
+    executes in the sender's context, because all it may do is mutate
+    shared scheme state (what a real handler running on the victim's stack
+    would publish).  Only valid after {!run} has started (i.e. from inside
+    thread bodies). *)
+
+val signal : t -> int -> unit
+(** [signal t tid] delivers a simulated POSIX signal to thread [tid]: the
+    registered handler (if any) runs immediately, and — when the victim is
+    suspended mid-operation — its continuation is replaced so the victim
+    unwinds with {!Signal_interrupt} at its next resume instead of
+    completing the interrupted operation.  This is the DEBRA+
+    neutralization primitive: the victim provably never finishes an
+    operation begun before the signal, so state published by the handler
+    (e.g. a quiescent announcement) is safe.  Crashed, doomed, finished
+    and not-yet-started victims only get the handler side effect; a
+    pending signal is not duplicated; a thread signalling itself unwinds
+    immediately.  Delivery itself charges no cycles — callers model the
+    syscall cost.  A later {!crash} of a signalled victim wins (the thread
+    dies without resuming). *)
 
 val lcore_of : t -> int -> int
 (** Logical core a thread is pinned to. *)

@@ -48,32 +48,33 @@ let test_latency_bucket_boundaries () =
   (* Degenerate small values all land in bucket 0. *)
   checki "v=0" 0 (Latency.bucket_of 0);
   checki "v=1" 0 (Latency.bucket_of 1);
-  (* Exact powers of two: 2^k lands in bucket 2k. *)
-  List.iter
-    (fun k -> checki (Printf.sprintf "2^%d" k) (2 * k) (Latency.bucket_of (1 lsl k)))
-    [ 1; 2; 3; 10; 20; 30 ];
-  (* Half-step values: 1.5 * 2^k lands in bucket 2k + 1. *)
+  (* Exact powers of two: 2^k lands in bucket 2k - 1 (so v=2 reaches
+     bucket 1 — every index is populated). *)
   List.iter
     (fun k ->
       checki
-        (Printf.sprintf "1.5*2^%d" k)
-        ((2 * k) + 1)
+        (Printf.sprintf "2^%d" k)
+        ((2 * k) - 1)
+        (Latency.bucket_of (1 lsl k)))
+    [ 1; 2; 3; 10; 20; 30 ];
+  (* Half-step values: 1.5 * 2^k lands in bucket 2k. *)
+  List.iter
+    (fun k ->
+      checki (Printf.sprintf "1.5*2^%d" k) (2 * k)
         (Latency.bucket_of (3 lsl (k - 1))))
     [ 1; 2; 3; 10; 20 ];
   (* Just below a power of two stays in the upper half-bucket below it. *)
-  checki "2^10 - 1" ((2 * 9) + 1) (Latency.bucket_of ((1 lsl 10) - 1));
+  checki "2^10 - 1" (2 * 9) (Latency.bucket_of ((1 lsl 10) - 1));
   (* Saturation: enormous values clamp to the last bucket. *)
   checki "max_int saturates" (Latency.n_buckets - 1) (Latency.bucket_of max_int);
   checki "2^60 saturates" (Latency.n_buckets - 1) (Latency.bucket_of (1 lsl 60))
 
 let test_latency_bucket_low_roundtrip () =
   (* bucket_low i is the smallest value in bucket i: it maps back to i, and
-     the value just below the next bucket's low bound still maps to i.
-     (Buckets 0 and 1 both have low bound 1 — bucket 1 is degenerate by
-     construction — so the round-trip law starts at i = 2.) *)
-  checki "bucket_low 0" 1 (Latency.bucket_low 0);
-  checki "bucket_low 1" 1 (Latency.bucket_low 1);
-  for i = 2 to Latency.n_buckets - 2 do
+     the value just below the next bucket's low bound still maps to i. *)
+  checki "bucket_low 0" 0 (Latency.bucket_low 0);
+  checki "bucket_low 1" 2 (Latency.bucket_low 1);
+  for i = 0 to Latency.n_buckets - 2 do
     checki
       (Printf.sprintf "roundtrip %d" i)
       i
@@ -83,6 +84,60 @@ let test_latency_bucket_low_roundtrip () =
       i
       (Latency.bucket_of (Latency.bucket_low (i + 1) - 1))
   done
+
+let test_latency_bucket_low_strictly_increasing () =
+  for i = 1 to Latency.n_buckets - 1 do
+    checkb
+      (Printf.sprintf "bucket_low %d > bucket_low %d" i (i - 1))
+      true
+      (Latency.bucket_low i > Latency.bucket_low (i - 1))
+  done
+
+(* The containment law over a dense small-value sweep plus random large
+   values: every recorded value lies inside its bucket's bounds. *)
+let test_latency_bucket_invariant_sweep () =
+  let check_v v =
+    let b = Latency.bucket_of v in
+    checkb (Printf.sprintf "low(bucket %d) <= %d" b v) true
+      (Latency.bucket_low b <= v);
+    if b < Latency.n_buckets - 1 then
+      checkb
+        (Printf.sprintf "%d < low(bucket %d)" v (b + 1))
+        true
+        (v < Latency.bucket_low (b + 1))
+  in
+  for v = 0 to 4096 do
+    check_v v
+  done;
+  let rng = St_sim.Rng.create ~seed:11 in
+  for _ = 1 to 2_000 do
+    check_v (St_sim.Rng.int rng (1 lsl 50))
+  done
+
+(* Merging per-thread histograms must be indistinguishable from recording
+   every value into a single histogram. *)
+let test_latency_merge_equals_record_all () =
+  let rng = St_sim.Rng.create ~seed:7 in
+  let parts = Array.init 4 (fun _ -> Latency.create ()) in
+  let all = Latency.create () in
+  for i = 0 to 4_999 do
+    let v = St_sim.Rng.int rng 5_000_000 in
+    Latency.record parts.(i mod 4) v;
+    Latency.record all v
+  done;
+  let m = Latency.merge (Array.to_list parts) in
+  checki "count" (Latency.count all) (Latency.count m);
+  checki "max" (Latency.max_value all) (Latency.max_value m);
+  checkb "mean" true (Latency.mean all = Latency.mean m);
+  List.iter
+    (fun p ->
+      checki
+        (Printf.sprintf "p%.1f" p)
+        (Latency.percentile all p)
+        (Latency.percentile m p))
+    [ 0.; 1.; 25.; 50.; 75.; 90.; 99.; 99.9; 100. ];
+  checkb "nonzero buckets" true
+    (Latency.nonzero_buckets all = Latency.nonzero_buckets m)
 
 let test_latency_percentile_empty_singleton () =
   let empty = Latency.create () in
@@ -240,6 +295,12 @@ let () =
             test_latency_bucket_boundaries;
           Alcotest.test_case "bucket_low roundtrip" `Quick
             test_latency_bucket_low_roundtrip;
+          Alcotest.test_case "bucket_low strictly increasing" `Quick
+            test_latency_bucket_low_strictly_increasing;
+          Alcotest.test_case "bucket invariant sweep" `Quick
+            test_latency_bucket_invariant_sweep;
+          Alcotest.test_case "merge = record-all" `Quick
+            test_latency_merge_equals_record_all;
           Alcotest.test_case "percentile empty/singleton" `Quick
             test_latency_percentile_empty_singleton;
           QCheck_alcotest.to_alcotest prop_latency_percentile_bounds;

@@ -14,8 +14,9 @@
      firing, the constant-backlog (idle tail) non-firing case, closing on
      resumed progress or a drained backlog.
 
-   - Full-run conservation: all seven schemes, plus a crashed-thread epoch
-     run and an oversubscribed (threads > logical cores) run; each run's
+   - Full-run conservation: all ten schemes (including DEBRA, DEBRA+ and
+     Hazard Eras), plus crashed-thread runs and an oversubscribed
+     (threads > logical cores) run; each run's
      summary must agree with the heap census and conserve
      allocs = frees + live.  (Experiment.run itself cross-checks the
      ledger against heap/shadow and raises on divergence, so completing
@@ -290,6 +291,9 @@ let all_schemes =
     ("dta", Experiment.Dta);
     ("refcount", Experiment.Refcount_s);
     ("immediate", Experiment.Immediate_unsafe);
+    ("debra", Experiment.Debra);
+    ("debra+", Experiment.Debra_plus);
+    ("hazard-eras", Experiment.Hazard_eras);
   ]
 
 let test_conservation_all_schemes () =
@@ -300,20 +304,36 @@ let test_conservation_all_schemes () =
 
 let test_conservation_crash () =
   (* A crashed thread pins the epoch: the run must still conserve the
-     census even though reclamation stalls. *)
+     census even though reclamation stalls.  DEBRA+ additionally delivers
+     signals at the corpse and restarts live victims; Hazard Eras keeps
+     stamping birth/retire eras across the crash — both must balance. *)
   check_conservation "epoch+crash"
     (Experiment.run (lifecycle_cfg ~crash:[ 0 ] Experiment.Epoch));
   check_conservation "stacktrack+crash"
     (Experiment.run
-       (lifecycle_cfg ~crash:[ 0 ] Experiment.stacktrack_default))
+       (lifecycle_cfg ~crash:[ 0 ] Experiment.stacktrack_default));
+  check_conservation "debra+crash"
+    (Experiment.run (lifecycle_cfg ~crash:[ 0 ] Experiment.Debra));
+  check_conservation "debra-plus+crash"
+    (Experiment.run (lifecycle_cfg ~crash:[ 0 ] Experiment.Debra_plus));
+  check_conservation "hazard-eras+crash"
+    (Experiment.run (lifecycle_cfg ~crash:[ 0 ] Experiment.Hazard_eras))
 
 let test_conservation_oversubscribed () =
   (* More threads than logical cores: stamps cross preemption points and
-     the now_or_global clock is exercised on descheduled threads. *)
+     the now_or_global clock is exercised on descheduled threads.  For
+     DEBRA+ this is also the neutralization stress: preempted threads sit
+     announced-in-op past patience and get signalled mid-operation. *)
   check_conservation "epoch x12"
     (Experiment.run (lifecycle_cfg ~threads:12 Experiment.Epoch));
   check_conservation "stacktrack x12"
-    (Experiment.run (lifecycle_cfg ~threads:12 Experiment.stacktrack_default))
+    (Experiment.run (lifecycle_cfg ~threads:12 Experiment.stacktrack_default));
+  check_conservation "debra x12"
+    (Experiment.run (lifecycle_cfg ~threads:12 Experiment.Debra));
+  check_conservation "debra-plus x12"
+    (Experiment.run (lifecycle_cfg ~threads:12 Experiment.Debra_plus));
+  check_conservation "hazard-eras x12"
+    (Experiment.run (lifecycle_cfg ~threads:12 Experiment.Hazard_eras))
 
 (* ------------------------------------------------------------------ *)
 (* Stagnation contrast + flag gating                                   *)
@@ -350,6 +370,48 @@ let test_stalled_epoch_vs_stacktrack () =
   Alcotest.(check bool)
     "stacktrack keeps limbo below the stalled epoch" true
     (st.Experiment.limbo_at_end < epoch.Experiment.limbo_at_end)
+
+let test_robustness_contrast () =
+  (* The modern-SMR robustness matrix under one crashed thread:
+     - DEBRA inherits the epoch failure mode — the corpse's announcement
+       pins the epoch, bags never rotate, ongoing stagnation incident;
+     - DEBRA+ neutralizes the corpse (trace-visible signals), the epoch
+       advances, and the backlog drains — no open incident at exit;
+     - Hazard Eras only pins nodes born inside the corpse's frozen era
+       interval, so reclamation continues and no incident opens. *)
+  let debra_r = Experiment.run (stall_cfg Experiment.Debra) in
+  let debra = summary_of debra_r in
+  Alcotest.(check bool)
+    "debra stagnates like epoch (ongoing incident)" true
+    debra.Experiment.watchdog.Watchdog.ongoing;
+  Alcotest.(check bool)
+    "debra limbo backlog left at exit" true
+    (debra.Experiment.limbo_at_end > 0);
+  let dp_r = Experiment.run (stall_cfg Experiment.Debra_plus) in
+  let dp = summary_of dp_r in
+  Alcotest.(check bool)
+    "debra+ neutralized the corpse" true
+    (List.assoc "neutralizations" dp_r.Experiment.extras > 0);
+  Alcotest.(check bool)
+    "debra+ does not stagnate" false
+    dp.Experiment.watchdog.Watchdog.ongoing;
+  Alcotest.(check bool)
+    "debra+ keeps limbo below stalled debra" true
+    (dp.Experiment.limbo_at_end < debra.Experiment.limbo_at_end);
+  let he_r = Experiment.run (stall_cfg Experiment.Hazard_eras) in
+  let he = summary_of he_r in
+  Alcotest.(check bool)
+    "hazard eras does not stagnate" false
+    he.Experiment.watchdog.Watchdog.ongoing;
+  Alcotest.(check bool)
+    "hazard eras advanced its era clock" true
+    (List.assoc "era" he_r.Experiment.extras > 1);
+  Alcotest.(check bool)
+    "hazard eras keeps its backlog below stalled debra" true
+    (he.Experiment.limbo_at_end < debra.Experiment.limbo_at_end);
+  Alcotest.(check bool)
+    "hazard eras kept reclaiming after the crash" true
+    (he_r.Experiment.reclaim.St_reclaim.Guard.freed > 0)
 
 let test_clean_run_silent () =
   (* No crash, steady reclamation: the detector must stay quiet. *)
@@ -425,13 +487,14 @@ let () =
         ] );
       ( "conservation",
         [
-          quick "all seven schemes" test_conservation_all_schemes;
+          quick "all ten schemes" test_conservation_all_schemes;
           quick "crashed thread" test_conservation_crash;
           quick "oversubscribed" test_conservation_oversubscribed;
         ] );
       ( "gating",
         [
           quick "stalled epoch vs stacktrack" test_stalled_epoch_vs_stacktrack;
+          quick "modern-SMR robustness contrast" test_robustness_contrast;
           quick "clean run silent" test_clean_run_silent;
           quick "json section iff flagged" test_json_gating;
           quick "unflagged identity golden" test_unflagged_identity;

@@ -207,6 +207,276 @@ let test_dta_recovers_from_stalled_thread () =
   checki "no violations" 0 (Shadow.count (Heap.shadow heap))
 
 (* ------------------------------------------------------------------ *)
+(* Hazard-pointer regressions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hazard_retry_clears_stale_slot () =
+  (* Regression: a protected_read whose validation failed and whose retry
+     landed on a non-pointer used to leave the dead pointer published in
+     the slot for the rest of the operation, blocking its reclamation.
+     The victim's read is interleaved with a writer that nulls the cell
+     inside the publish-fence window, so the retry returns Word.null; the
+     previously-read node must then be immediately reclaimable. *)
+  let sched, heap, rt = world () in
+  let s = Hazard.create ~batch:1 rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let node = Heap.alloc heap ~tid:0 ~size:2 in
+  Heap.write heap ~tid:0 cell node;
+  let got = ref (-1) in
+  let freed_mid_op = ref false in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        Hazard.run_op th ~op_id:1 (fun env ->
+            got := Hazard.protected_read env ~slot:0 cell;
+            (* Stay inside the op: a stale slot would still be published. *)
+            Sched.consume sched 20_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard.create_thread s ~tid in
+        (* Null the cell inside the victim's publish-fence window so the
+           validation re-read fails and the retry sees a non-pointer. *)
+        Sched.consume sched 25;
+        Heap.write heap ~tid cell Word.null;
+        Sched.consume sched 2_000;
+        Hazard.run_op th ~op_id:2 (fun env -> Hazard.retire env node);
+        freed_mid_op := not (Heap.is_allocated heap node))
+  in
+  Sched.run sched;
+  checki "retry returned the non-pointer" Word.null !got;
+  checkb "the failed validation published a hazard" true
+    ((Hazard.stats s).Guard.protect_fences >= 1);
+  checkb "stale slot cleared: node freed during victim's op" true
+    !freed_mid_op
+
+let test_hazard_reregistration_not_scanned_twice () =
+  (* Regression: create_thread pushed its tid unconditionally, so a
+     re-registered thread was scanned twice (double scan_words, slower
+     scans).  Two identical single-thread runs, one registering twice:
+     every reclamation statistic must match the once-registered run. *)
+  let run_once ~twice =
+    let sched, _heap, rt = world () in
+    let s = Hazard.create ~batch:1 rt in
+    let _ =
+      Sched.add_thread sched (fun tid ->
+          let th = Hazard.create_thread s ~tid in
+          let th = if twice then Hazard.create_thread s ~tid else th in
+          Hazard.run_op th ~op_id:1 (fun env ->
+              let n = Hazard.alloc env ~size:2 in
+              Hazard.retire env n))
+    in
+    Sched.run sched;
+    Hazard.stats s
+  in
+  let once = run_once ~twice:false and twice = run_once ~twice:true in
+  checki "same scan_words" once.Guard.scan_words twice.Guard.scan_words;
+  checki "same freed" once.Guard.freed twice.Guard.freed;
+  checki "same scans" once.Guard.scans twice.Guard.scans
+
+(* ------------------------------------------------------------------ *)
+(* DEBRA                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_debra_frees_after_epoch_advance () =
+  (* A single thread advances the epoch on every operation (the rotating
+     check trivially passes), so a node retired at epoch e is freed when
+     its bag rotates back around — within three subsequent operations. *)
+  let sched, heap, rt = world () in
+  let s = Debra.create rt in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Debra.create_thread s ~tid in
+        for i = 1 to 10 do
+          Debra.run_op th ~op_id:i (fun env ->
+              let n = Debra.alloc env ~size:2 in
+              Debra.retire env n)
+        done;
+        checkb "bag rotation freed early retirements" true
+          ((Debra.stats s).Guard.freed >= 5);
+        Debra.quiesce th)
+  in
+  Sched.run sched;
+  checki "quiesce drained every bag" 10 (Debra.stats s).Guard.freed;
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+let test_debra_crash_stalls_like_epoch () =
+  (* DEBRA inherits epoch's failure mode on purpose: a thread that
+     crashes while announced inside an operation parks the rotating
+     advance check forever, so bags never rotate and nothing frees. *)
+  let sched, _heap, rt = world () in
+  let s = Debra.create rt in
+  let victim =
+    Sched.add_thread sched (fun tid ->
+        let th = Debra.create_thread s ~tid in
+        Debra.run_op th ~op_id:1 (fun _env -> Sched.consume sched 1_000_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Debra.create_thread s ~tid in
+        Sched.consume sched 500;
+        Sched.crash sched victim;
+        Sched.consume sched 1_000;
+        for i = 1 to 10 do
+          Debra.run_op th ~op_id:(i + 1) (fun env ->
+              let n = Debra.alloc env ~size:2 in
+              Debra.retire env n)
+        done)
+  in
+  Sched.run sched;
+  checki "nothing reclaimed after crash" 0 (Debra.stats s).Guard.freed;
+  checki "all retirements stuck in bags" 10 (Debra.stats s).Guard.retired
+
+(* ------------------------------------------------------------------ *)
+(* DEBRA+                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_debra_plus_neutralizes_crashed_thread () =
+  (* The same corpse that stalls DEBRA forever: after [patience] cycles
+     parked on it, the reclaimer delivers a neutralization signal, the
+     corpse's announcement is cleared, the epoch advances, and the limbo
+     bags drain. *)
+  let sched, _heap, rt = world () in
+  let s = Debra_plus.create ~patience:5_000 rt in
+  let victim =
+    Sched.add_thread sched (fun tid ->
+        let th = Debra_plus.create_thread s ~tid in
+        Debra_plus.run_op th ~op_id:1 (fun _env ->
+            Sched.consume sched 1_000_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Debra_plus.create_thread s ~tid in
+        Sched.consume sched 500;
+        Sched.crash sched victim;
+        Sched.consume sched 1_000;
+        for i = 1 to 30 do
+          Debra_plus.run_op th ~op_id:(i + 1) (fun env ->
+              let n = Debra_plus.alloc env ~size:2 in
+              Debra_plus.retire env n);
+          Sched.consume sched 1_000
+        done;
+        Debra_plus.quiesce th)
+  in
+  Sched.run sched;
+  checkb "the corpse was neutralized" true (Debra_plus.neutralizations s >= 1);
+  checkb "reclamation resumed after neutralization" true
+    ((Debra_plus.stats s).Guard.freed > 0);
+  checki "a crashed victim never recovers" 0 (Debra_plus.recoveries s)
+
+let test_debra_plus_live_victim_restarts () =
+  (* A live victim neutralized mid-operation unwinds and re-runs its
+     operation body: the first attempt is interrupted, a later attempt
+     completes, and the recovery is counted. *)
+  let sched, _heap, rt = world () in
+  let s = Debra_plus.create ~patience:5_000 rt in
+  let attempts = ref 0 in
+  let completed = ref false in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Debra_plus.create_thread s ~tid in
+        Debra_plus.run_op th ~op_id:1 (fun _env ->
+            incr attempts;
+            (* Only the first attempt stalls; a restart finishes fast. *)
+            if !attempts = 1 then Sched.consume sched 1_000_000
+            else Sched.consume sched 10);
+        completed := true)
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Debra_plus.create_thread s ~tid in
+        Sched.consume sched 1_000;
+        for i = 1 to 20 do
+          Debra_plus.run_op th ~op_id:(i + 1) (fun env ->
+              let n = Debra_plus.alloc env ~size:2 in
+              Debra_plus.retire env n);
+          Sched.consume sched 1_000
+        done)
+  in
+  Sched.run sched;
+  checkb "victim was neutralized" true (Debra_plus.neutralizations s >= 1);
+  checkb "victim restarted its operation" true (!attempts >= 2);
+  checkb "victim completed on the recovery path" true !completed;
+  checkb "recovery counted" true (Debra_plus.recoveries s >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Hazard Eras                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_hazard_eras_interval_blocks_free () =
+  (* A reader's published era interval covers a node born before it and
+     retired during it: the node is held until the reader's operation
+     ends and only then reclaimed. *)
+  let sched, heap, rt = world () in
+  let s = Hazard_eras.create ~batch:1 ~era_freq:1 rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let node = Heap.alloc heap ~tid:0 ~size:2 in
+  Heap.write heap ~tid:0 cell node;
+  let held_mid_op = ref false in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard_eras.create_thread s ~tid in
+        Hazard_eras.run_op th ~op_id:1 (fun env ->
+            ignore (Hazard_eras.protected_read env ~slot:0 cell);
+            Sched.consume sched 20_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard_eras.create_thread s ~tid in
+        Sched.consume sched 1_000;
+        Hazard_eras.run_op th ~op_id:2 (fun env ->
+            Hazard_eras.write env cell Word.null;
+            Hazard_eras.retire env node);
+        held_mid_op := Heap.is_allocated heap node;
+        (* After the reader's interval is withdrawn, a scan frees it. *)
+        Sched.consume sched 50_000;
+        Hazard_eras.quiesce th)
+  in
+  Sched.run sched;
+  checkb "reader's interval held the node" true !held_mid_op;
+  checkb "freed once the interval was withdrawn" false
+    (Heap.is_allocated heap node);
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+let test_hazard_eras_crash_bounds_backlog () =
+  (* A crashed reader pins only nodes whose lifetime overlaps its frozen
+     era interval.  With the era clock ticking on every retirement,
+     everything allocated after the crash has a later birth era and keeps
+     being reclaimed — the bounded-backlog contrast with epoch/DEBRA. *)
+  let sched, heap, rt = world () in
+  let s = Hazard_eras.create ~batch:1 ~era_freq:1 rt in
+  let cell = Heap.alloc heap ~tid:0 ~size:1 in
+  let node = Heap.alloc heap ~tid:0 ~size:2 in
+  Heap.write heap ~tid:0 cell node;
+  let victim =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard_eras.create_thread s ~tid in
+        Hazard_eras.run_op th ~op_id:1 (fun env ->
+            ignore (Hazard_eras.protected_read env ~slot:0 cell);
+            Sched.consume sched 1_000_000))
+  in
+  let _ =
+    Sched.add_thread sched (fun tid ->
+        let th = Hazard_eras.create_thread s ~tid in
+        Sched.consume sched 2_000;
+        Sched.crash sched victim;
+        Sched.consume sched 1_000;
+        for i = 1 to 6 do
+          Hazard_eras.run_op th ~op_id:(i + 1) (fun env ->
+              let n = Hazard_eras.alloc env ~size:2 in
+              Hazard_eras.retire env n)
+        done;
+        Hazard_eras.quiesce th)
+  in
+  Sched.run sched;
+  let st = Hazard_eras.stats s in
+  checkb "era clock advanced past the corpse" true (Hazard_eras.era s > 1);
+  checkb "reclamation continued after the crash" true (st.Guard.freed >= 4);
+  checkb "backlog bounded, not drained (corpse still pins its era)" true
+    (st.Guard.freed < st.Guard.retired + 1);
+  checki "no violations" 0 (Shadow.count (Heap.shadow heap))
+
+(* ------------------------------------------------------------------ *)
 (* Reference counting                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -326,6 +596,10 @@ let () =
             test_hazard_validation_retries_on_change;
           Alcotest.test_case "crash tolerant" `Quick
             test_hazard_crash_does_not_block_others;
+          Alcotest.test_case "retry clears stale slot" `Quick
+            test_hazard_retry_clears_stale_slot;
+          Alcotest.test_case "re-registration deduped" `Quick
+            test_hazard_reregistration_not_scanned_twice;
         ] );
       ( "epoch",
         [
@@ -336,6 +610,27 @@ let () =
         [
           Alcotest.test_case "recovers from stall" `Quick
             test_dta_recovers_from_stalled_thread;
+        ] );
+      ( "debra",
+        [
+          Alcotest.test_case "frees after epoch advance" `Quick
+            test_debra_frees_after_epoch_advance;
+          Alcotest.test_case "crash stalls like epoch" `Quick
+            test_debra_crash_stalls_like_epoch;
+        ] );
+      ( "debra+",
+        [
+          Alcotest.test_case "neutralizes crashed thread" `Quick
+            test_debra_plus_neutralizes_crashed_thread;
+          Alcotest.test_case "live victim restarts" `Quick
+            test_debra_plus_live_victim_restarts;
+        ] );
+      ( "hazard-eras",
+        [
+          Alcotest.test_case "interval blocks free" `Quick
+            test_hazard_eras_interval_blocks_free;
+          Alcotest.test_case "crash bounds backlog" `Quick
+            test_hazard_eras_crash_bounds_backlog;
         ] );
       ( "lag",
         [
