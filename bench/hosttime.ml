@@ -34,6 +34,12 @@ let repeat = ref 1
 let scheme_arg = ref "stacktrack"
 let jobs = ref 1
 let targets = ref []
+let json_out = ref ""
+let check_against = ref ""
+
+let git_rev =
+  (* No subprocess: CI passes the sha through the flag or GIT_REV. *)
+  ref (try Sys.getenv "GIT_REV" with Not_found -> "unknown")
 
 let spec =
   [
@@ -46,11 +52,24 @@ let spec =
     ("--repeat", Arg.Set_int repeat, "R  Repetitions per target (default 1)");
     ( "--scheme",
       Arg.Set_string scheme_arg,
-      "NAME  original|hazards|epoch|stacktrack|dta (default stacktrack)" );
+      "NAME  original|hazards|epoch|stacktrack|dta|refcount|immediate|debra|\
+       debra+|hazard-eras (default stacktrack)" );
     ( "--jobs",
       Arg.Set_int jobs,
       "J  Domain-pool size for sweep-* targets (default 1 = sequential; 0 = \
        recommended domain count)" );
+    ( "--json-out",
+      Arg.Set_string json_out,
+      "FILE  Write a machine-readable summary (per-target best-of-N ms, \
+       scheme, threads, git rev)" );
+    ( "--check-against",
+      Arg.Set_string check_against,
+      "FILE  Compare against a previously written --json-out file; exit 1 \
+       if any shared target regressed by more than 25%" );
+    ( "--git-rev",
+      Arg.Set_string git_rev,
+      "REV  Git revision recorded in --json-out (default: $GIT_REV or \
+       \"unknown\")" );
   ]
 
 let scheme_of_name = function
@@ -59,6 +78,11 @@ let scheme_of_name = function
   | "epoch" -> Experiment.Epoch
   | "stacktrack" | "st" -> Experiment.stacktrack_default
   | "dta" -> Experiment.Dta
+  | "refcount" -> Experiment.Refcount_s
+  | "immediate" -> Experiment.Immediate_unsafe
+  | "debra" -> Experiment.Debra
+  | "debra+" | "debra-plus" -> Experiment.Debra_plus
+  | "hazard-eras" | "he" -> Experiment.Hazard_eras
   | s ->
       Printf.eprintf "hosttime: unknown scheme %S\n" s;
       exit 2
@@ -140,6 +164,13 @@ let sweep_configs target =
       sweep (Figures.hash_config Figures.Full) Figures.set_schemes
   | _ -> None
 
+(* Immediate(unsafe) exists to demonstrate use-after-free: shadow
+   violations are its expected output, not a harness failure. *)
+let check_safe (r : Experiment.result) =
+  match r.Experiment.cfg.Experiment.scheme with
+  | Experiment.Immediate_unsafe -> ()
+  | _ -> assert (r.Experiment.violations = 0)
+
 let run_sweep target cfgs =
   let best = ref infinity in
   for _ = 1 to max 1 !repeat do
@@ -152,7 +183,7 @@ let run_sweep target cfgs =
     let ops =
       List.fold_left (fun acc r -> acc + r.Experiment.total_ops) 0 results
     in
-    List.iter (fun r -> assert (r.Experiment.violations = 0)) results;
+    List.iter check_safe results;
     Printf.printf
       "%-20s points=%-3d jobs=%-3d host_ms=%9.1f total_ops=%d\n%!" target
       (List.length cfgs) !jobs ms ops
@@ -171,7 +202,7 @@ let run_single target =
         let r = Experiment.run cfg in
         let ms = (Unix.gettimeofday () -. t0) *. 1000. in
         if ms < !best then best := ms;
-        assert (r.Experiment.violations = 0);
+        check_safe r;
         Printf.printf
           "%-14s threads=%-3d scheme=%-10s host_ms=%9.1f ops=%-8d \
            makespan=%-9d tput=%8.1f ops/Mcycle\n%!"
@@ -184,6 +215,84 @@ let run_target target =
   match sweep_configs target with
   | Some cfgs -> run_sweep target cfgs
   | None -> run_single target
+
+(* ------------------------------------------------------------------ *)
+(* JSON summary + soft perf gate                                       *)
+(* ------------------------------------------------------------------ *)
+
+let write_json path results =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"git_rev\": %S,\n" !git_rev;
+  Printf.fprintf oc "  \"scheme\": %S,\n" !scheme_arg;
+  Printf.fprintf oc "  \"threads\": %d,\n" !threads;
+  Printf.fprintf oc "  \"repeat\": %d,\n" (max 1 !repeat);
+  Printf.fprintf oc "  \"targets\": [\n";
+  List.iteri
+    (fun i (t, ms) ->
+      Printf.fprintf oc "    { \"target\": %S, \"best_ms\": %.1f }%s\n" t ms
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* Reads only the files [write_json] produces: one
+   [{ "target": ..., "best_ms": ... }] object per line. *)
+let read_json path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       try
+         Scanf.sscanf (String.trim line)
+           "{ %_[\"]target%_[\"]: %S, %_[\"]best_ms%_[\"]: %f }"
+           (fun t ms -> entries := (t, ms) :: !entries)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !entries
+
+(* Soft host-performance gate: alarm on a clear regression, stay quiet
+   through CI-runner noise.  25% is far above run-to-run jitter on one
+   machine but small enough to catch an accidentally reintroduced
+   per-access allocation or scan. *)
+let tolerance_pct = 25.
+
+let check_regressions baseline_path results =
+  let baseline = read_json baseline_path in
+  if baseline = [] then begin
+    Printf.eprintf "hosttime: no targets parsed from %s\n" baseline_path;
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun (t, ms) ->
+      match List.assoc_opt t baseline with
+      | None -> Printf.printf "gate: %-14s no baseline entry, skipped\n" t
+      | Some base ->
+          let delta_pct = (ms -. base) /. base *. 100. in
+          if delta_pct > tolerance_pct then begin
+            failed := true;
+            Printf.printf
+              "gate: %-14s REGRESSION %9.1f ms vs baseline %9.1f ms \
+               (%+.1f%% > %.0f%% tolerance)\n"
+              t ms base delta_pct tolerance_pct
+          end
+          else
+            Printf.printf
+              "gate: %-14s ok %9.1f ms vs baseline %9.1f ms (%+.1f%%)\n" t ms
+              base delta_pct)
+    results;
+  if !failed then begin
+    Printf.printf
+      "gate: FAILED — host wall-clock regressed beyond %.0f%% (baseline %s, \
+       rev %s).  If the slowdown is intentional, regenerate the baseline \
+       with --json-out.\n"
+      tolerance_pct baseline_path !git_rev;
+    exit 1
+  end
 
 let () =
   Arg.parse spec (fun t -> targets := t :: !targets) "hosttime [options] targets";
@@ -205,4 +314,6 @@ let () =
   in
   let results = List.map run_target ts in
   Printf.printf "\nbest-of-%d summary:\n" (max 1 !repeat);
-  List.iter (fun (t, ms) -> Printf.printf "  %-14s %9.1f ms\n" t ms) results
+  List.iter (fun (t, ms) -> Printf.printf "  %-14s %9.1f ms\n" t ms) results;
+  if !json_out <> "" then write_json !json_out results;
+  if !check_against <> "" then check_regressions !check_against results

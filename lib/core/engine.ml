@@ -15,7 +15,7 @@
       primitive results (reads, CAS outcomes, allocations, random draws).
       Replay is free of virtual cycles and rebuilds the working registers
       and locals, so the thread resumes with exactly the state it had at
-      the split point.  The log is an [int Vec.t] of {!Packed_log} entries
+      the split point.  The log is an [Ivec.t] of {!Packed_log} entries
       — pushed on every primitive access, it must not allocate.
 
     - {b Free procedure}: retirements are batched in a per-thread free set;
@@ -57,15 +57,21 @@ and thread = {
   free_set : Word.addr Vec.t;
   refs_set : (int, int) Hashtbl.t; (* slow-path reference multiset *)
   scan_scratch : (int, unit) Hashtbl.t; (* hashed-scan table, reused *)
-  seg_log : int Vec.t; (* packed segment log (Packed_log), reused across ops *)
+  seg_log : Ivec.t; (* packed segment log (Packed_log), reused across ops *)
   rng : Rng.t;
   mutable env_cache : env option; (* the one env, reused across ops *)
 }
 
 and env = {
   th : thread;
+  (* Hot-path shortcuts: [sched]/[tsx]/[costs] sit under every primitive
+     access; resolving the 3-4 load chain through [th.s.rt] once at env
+     creation keeps the checkpoint path to single field reads. *)
+  sc : Sched.t;
+  tx : Tsx.t;
+  cs : Costs.t;
   mutable op_id : int;
-  log : int Vec.t; (* == th.seg_log *)
+  log : Ivec.t; (* == th.seg_log *)
   mutable pos : int; (* next primitive index; < replay_to means replaying *)
   mutable replay_to : int;
   mutable committed : int; (* log length at last successful commit *)
@@ -107,7 +113,7 @@ let create_thread s ~tid =
       free_set = Vec.create ();
       refs_set = Hashtbl.create 32;
       scan_scratch = Hashtbl.create 256;
-      seg_log = Vec.create ();
+      seg_log = Ivec.create ();
       rng = Sched.thread_rng s.rt.Guard.sched tid;
       env_cache = None;
     }
@@ -115,10 +121,10 @@ let create_thread s ~tid =
   s.threads.(tid) <- Some th;
   th
 
-let sched env = env.th.s.rt.Guard.sched
-let tsx env = env.th.s.rt.Guard.tsx
-let costs env = Sched.costs (sched env)
-let trace env = Sched.trace (sched env)
+let sched env = env.sc
+let tsx env = env.tx
+let costs env = env.cs
+let trace env = Sched.trace env.sc
 
 (* ------------------------------------------------------------------ *)
 (* Segment management (Alg. 2)                                         *)
@@ -163,7 +169,7 @@ let split_commit env =
     Trace.span_end tr ~time:(Sched.now (sched env)) ~tid:env.th.tid
       Trace.Engine "segment" (fun () ->
         Printf.sprintf "commit split=%d steps=%d" env.split_idx env.steps);
-  env.committed <- Vec.length env.log;
+  env.committed <- Ivec.length env.log;
   env.split_idx <- env.split_idx + 1;
   env.seg_failures <- 0;
   env.steps <- 0;
@@ -179,7 +185,7 @@ let split_commit env =
    (sec 5.5: "the split procedure adapts to this case by ensuring that a
    split is never performed during a user-defined transaction"); the next
    access reopens a segment lazily via ensure_live. *)
-let checkpoint_pre env = Sched.consume (sched env) (costs env).checkpoint
+let checkpoint_pre env = Sched.consume env.sc env.cs.Costs.checkpoint
 
 let checkpoint_post env =
   env.steps <- env.steps + 1;
@@ -224,12 +230,12 @@ let ensure_live env =
    aborted segment — their init writes were speculative and are gone), and
    arrange for the next invocation of the body to replay the prefix. *)
 let rollback env =
-  for i = env.committed to Vec.length env.log - 1 do
-    let e = Vec.get env.log i in
+  for i = env.committed to Ivec.length env.log - 1 do
+    let e = Ivec.get env.log i in
     if Packed_log.tag e = Packed_log.tag_alloc then
       Heap.free (Guard.heap env.th.s.rt) ~tid:env.th.tid (Packed_log.payload e)
   done;
-  Vec.truncate env.log env.committed;
+  Ivec.truncate env.log env.committed;
   env.replay_to <- env.committed;
   env.pos <- 0;
   env.live <- false;
@@ -276,7 +282,7 @@ exception Replay_mismatch
 
 (* Next packed entry of the committed prefix; callers check the tag. *)
 let replay_entry env =
-  let e = Vec.get env.log env.pos in
+  let e = Ivec.get env.log env.pos in
   env.pos <- env.pos + 1;
   e
 
@@ -345,14 +351,14 @@ let read env addr =
         checkpoint_pre env;
         let v = Tsx.read (tsx env) addr in
         Ctx.note_load env.th.ctx v;
-        Vec.push env.log (Packed_log.read v);
+        Ivec.push env.log (Packed_log.read v);
         env.pos <- env.pos + 1;
         checkpoint_post env;
         v
     | Slow ->
         let v = slow_read_raw env addr in
         Ctx.note_load env.th.ctx v;
-        Vec.push env.log (Packed_log.read v);
+        Ivec.push env.log (Packed_log.read v);
         env.pos <- env.pos + 1;
         v
   end
@@ -368,13 +374,13 @@ let write env addr v =
     | Fast ->
         checkpoint_pre env;
         Tsx.write (tsx env) addr v;
-        Vec.push env.log Packed_log.write;
+        Ivec.push env.log Packed_log.write;
         env.pos <- env.pos + 1;
         checkpoint_post env
     | Slow ->
         ignore (slow_read_raw env addr);
         Tsx.nt_write (tsx env) addr v;
-        Vec.push env.log Packed_log.write;
+        Ivec.push env.log Packed_log.write;
         env.pos <- env.pos + 1
   end
 
@@ -390,7 +396,7 @@ let cas env addr ~expect v =
     | Fast ->
         checkpoint_pre env;
         let ok = Tsx.nt_cas (tsx env) addr ~expect v in
-        Vec.push env.log (Packed_log.cas ok);
+        Ivec.push env.log (Packed_log.cas ok);
         env.pos <- env.pos + 1;
         (* Make a winning CAS durable at once (see
            St_config.commit_after_cas); if the commit itself is doomed the
@@ -404,7 +410,7 @@ let cas env addr ~expect v =
     | Slow ->
         ignore (slow_read_raw env addr);
         let ok = Tsx.nt_cas (tsx env) addr ~expect v in
-        Vec.push env.log (Packed_log.cas ok);
+        Ivec.push env.log (Packed_log.cas ok);
         env.pos <- env.pos + 1;
         ok
   end
@@ -444,7 +450,7 @@ let rand env bound =
   end
   else begin
     let v = Rng.int env.th.rng bound in
-    Vec.push env.log (Packed_log.rand v);
+    Ivec.push env.log (Packed_log.rand v);
     env.pos <- env.pos + 1;
     v
   end
@@ -457,7 +463,7 @@ let alloc env ~size =
   end
   else begin
     let a = Tsx.alloc (tsx env) ~size in
-    Vec.push env.log (Packed_log.alloc a);
+    Ivec.push env.log (Packed_log.alloc a);
     env.pos <- env.pos + 1;
     a
   end
@@ -651,7 +657,7 @@ let retire env addr =
   end
   else begin
     ensure_live env;
-    Vec.push env.log Packed_log.retire;
+    Ivec.push env.log Packed_log.retire;
     env.pos <- env.pos + 1;
     (match env.mode with
     | Fast -> split_commit env (* may raise Abort; the entry is rolled back *)
@@ -704,7 +710,7 @@ let finish_op env =
    (plus a fresh log vector) per operation was minor-heap traffic scaling
    with the operation count, for state that is strictly thread-sequential. *)
 let reset_env env ~op_id ~mode =
-  Vec.clear env.log;
+  Ivec.clear env.log;
   env.op_id <- op_id;
   env.pos <- 0;
   env.replay_to <- 0;
@@ -733,6 +739,9 @@ let run_op th ~op_id f =
         let env =
           {
             th;
+            sc = th.s.rt.Guard.sched;
+            tx = th.s.rt.Guard.tsx;
+            cs = Sched.costs th.s.rt.Guard.sched;
             op_id;
             log = th.seg_log;
             pos = 0;

@@ -407,7 +407,7 @@ let run cfg =
         (Sched.add_thread sched (fun _ ->
              let next = ref cfg.metrics_interval in
              while Sched.now sched < cfg.duration do
-               Sched.consume sched (max 1 (!next - Sched.now sched));
+               Sched.sleep_until sched ~deadline:!next;
                if Sched.now sched >= !next then begin
                  metrics_acc := metrics_snapshot () :: !metrics_acc;
                  next :=
@@ -426,7 +426,7 @@ let run cfg =
              let interval = cfg.quantum in
              let next = ref interval in
              while Sched.now sched < cfg.duration do
-               Sched.consume sched (max 1 (!next - Sched.now sched));
+               Sched.sleep_until sched ~deadline:!next;
                if Sched.now sched >= !next then begin
                  let now = Sched.now sched in
                  let g = scheme_guard_stats () in

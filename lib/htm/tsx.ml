@@ -78,11 +78,43 @@ type t = {
   mutable line_readers : int array;
   mutable line_writers : int array;
   mutable lines_cap : int; (* lines covered by the three flat tables *)
-  (* Active-transaction registry, one list per logical core, kept sorted by
-     ascending owner tid.  [pressure_evict] consults only the SMT sibling's
-     list; the ascending order reproduces the RNG draw sequence of the old
-     0..max_threads scan exactly, keeping same-seed runs byte-identical. *)
-  active : txn list array;
+  (* Precomputed word index / bit mask per tid for the flat bitsets: the
+     word size is 63 bits, so computing them inline would cost two integer
+     divisions on every access (ocamlopt does not strength-reduce division
+     by a non-power-of-two without flambda). *)
+  tid_word : int array;
+  tid_mask : int array;
+  (* Highest bitset word that can be non-zero, maintained when a bit is
+     first set for a new-high tid: [doom_from] scans [nw] words instead of
+     all [bitset_words] (1 vs 5 for runs under 64 threads). *)
+  mutable nw : int;
+  (* Same-line batching for the conflict walk: [idx_gen] is bumped whenever
+     any bit is *set* in either conflict bitset.  A doom walk records
+     (tid, line, generation, strength); a later walk by the same thread on
+     the same line with an unchanged generation is provably a no-op — every
+     transaction the walk would visit was already visited (and doomed) by
+     the recorded walk, because only a [set_bit] can put a new transaction
+     on the line (clears never add doomable candidates) — so the walk is
+     skipped.  Node traversals re-touch the same line in runs (key then
+     next pointer), which is exactly when this hits. *)
+  mutable idx_gen : int;
+  mutable fp_tid : int;
+  mutable fp_line : int;
+  mutable fp_gen : int;
+  mutable fp_write : bool; (* recorded walk doomed readers too *)
+  (* Cached per-tid SMT-sibling lcore index (-1 none, -2 unknown): threads
+     never migrate, and [pressure_evict] needed two cross-module calls per
+     memory access to rediscover it. *)
+  sib_ix : int array;
+  (* Active-transaction registry, one flat tid array per logical core, kept
+     sorted ascending with [act_len] live entries.  [pressure_evict]
+     consults only the SMT sibling's slice; the ascending order reproduces
+     the RNG draw sequence of the old 0..max_threads scan exactly, keeping
+     same-seed runs byte-identical.  Flat arrays rather than lists so that
+     entering a transaction allocates nothing (the old version consed one
+     list cell per segment). *)
+  act_tids : int array array;
+  act_len : int array;
   (* Debug facility: per-line conflict-doom tally (per manager, populated
      on every conflict doom).  Used to pinpoint hot lines when diagnosing
      contention storms. *)
@@ -109,7 +141,19 @@ let create ?(cache = Cache.create ()) ?(backend = Htm)
       line_readers = Array.make (4096 * bitset_words) 0;
       line_writers = Array.make (4096 * bitset_words) 0;
       lines_cap = 4096;
-      active = Array.make (Topology.lcores (Sched.topology sched)) [];
+      tid_word = Array.init max_threads (fun tid -> tid / bits_per_word);
+      tid_mask = Array.init max_threads (fun tid -> 1 lsl (tid mod bits_per_word));
+      nw = 1;
+      idx_gen = 0;
+      fp_tid = -1;
+      fp_line = -1;
+      fp_gen = -1;
+      fp_write = false;
+      sib_ix = Array.make max_threads (-2);
+      act_tids =
+        Array.init (Topology.lcores (Sched.topology sched)) (fun _ ->
+            Array.make max_threads 0);
+      act_len = Array.make (Topology.lcores (Sched.topology sched)) 0;
       tally = Hashtbl.create 64;
     }
   in
@@ -157,14 +201,6 @@ let footprint txn = Vec.length txn.lines
 
 let data_set_lines t = match my_txn t with Some x -> footprint x | None -> 0
 
-(* Linear membership scan over a small int vector (see the [txn] comment:
-   footprints are capacity-bounded, and this runs on every access). *)
-let vec_mem v x =
-  let n = Vec.length v in
-  let i = ref 0 in
-  while !i < n && Vec.get v !i <> x do incr i done;
-  !i < n
-
 (* ---- Flat per-line tables ---------------------------------------- *)
 
 (* Grow the three line-indexed tables to cover [line].  Called once per
@@ -191,54 +227,62 @@ let ensure_lines t line =
 
 (* ---- Conflict-index maintenance ---------------------------------- *)
 
-let set_bit flat line tid =
-  let ix = (line * bitset_words) + (tid / bits_per_word) in
-  flat.(ix) <- flat.(ix) lor (1 lsl (tid mod bits_per_word))
-
-let clear_bit flat line tid =
-  let ix = (line * bitset_words) + (tid / bits_per_word) in
-  flat.(ix) <- flat.(ix) land lnot (1 lsl (tid mod bits_per_word))
-
-(* First touch of [line] by [txn]'s read (resp. write) set: record it in
-   the transaction and in the per-line reverse index. *)
-let note_read t txn line =
-  if not (vec_mem txn.read_lines line) then begin
-    Vec.push txn.read_lines line;
-    set_bit t.line_readers line txn.owner
-  end
-
+(* A bit is set only on the first touch of a line by a transaction's read
+   (resp. write) set, so the bit doubles as the set-membership test: the
+   per-access path is one load and a mask instead of the linear footprint
+   scan the sets used to need (which made a segment's access cost quadratic
+   in its footprint).  Setting a bit bumps [idx_gen] (see the type) and
+   raises the scan horizon [nw] when the owner lives in a new-high word. *)
 let note_write t txn line =
-  if not (vec_mem txn.write_lines line) then begin
+  let ix = (line * bitset_words) + t.tid_word.(txn.owner) in
+  let w = t.line_writers.(ix) in
+  let m = t.tid_mask.(txn.owner) in
+  if w land m = 0 then begin
     Vec.push txn.write_lines line;
-    set_bit t.line_writers line txn.owner
+    Array.unsafe_set t.line_writers ix (w lor m);
+    t.idx_gen <- t.idx_gen + 1;
+    let hw = Array.unsafe_get t.tid_word txn.owner + 1 in
+    if hw > t.nw then t.nw <- hw
   end
 
-(* Registry of active transactions per lcore, ascending owner tid.  Both
-   maintenance functions are top-level so the only allocation per segment
-   is the registry cons itself. *)
-let rec insert_sorted txn = function
-  | [] -> [ txn ]
-  | x :: _ as l when x.owner > txn.owner -> txn :: l
-  | x :: rest -> x :: insert_sorted txn rest
-
+(* Registry of active transactions per lcore: insertion keeps owner tids
+   ascending, removal shifts the suffix down.  The slices are tiny (threads
+   pinned to one lcore), and both operations are allocation-free. *)
 let insert_active t txn =
   let lc = Sched.lcore_of t.sched txn.owner in
-  t.active.(lc) <- insert_sorted txn t.active.(lc)
-
-let rec remove_txn txn = function
-  | [] -> []
-  | x :: rest -> if x == txn then rest else x :: remove_txn txn rest
+  let a = t.act_tids.(lc) in
+  let n = t.act_len.(lc) in
+  let i = ref n in
+  while !i > 0 && a.(!i - 1) > txn.owner do
+    a.(!i) <- a.(!i - 1);
+    decr i
+  done;
+  a.(!i) <- txn.owner;
+  t.act_len.(lc) <- n + 1
 
 (* Drop a discarded transaction from the registry and the conflict index.
    Called exactly once, when the transaction commits or aborts. *)
 let unindex t txn =
   let lc = Sched.lcore_of t.sched txn.owner in
-  t.active.(lc) <- remove_txn txn t.active.(lc);
+  let a = t.act_tids.(lc) in
+  let n = t.act_len.(lc) in
+  let i = ref 0 in
+  while !i < n && a.(!i) <> txn.owner do incr i done;
+  if !i < n then begin
+    for j = !i to n - 2 do
+      a.(j) <- a.(j + 1)
+    done;
+    t.act_len.(lc) <- n - 1
+  end;
+  let tw = t.tid_word.(txn.owner) in
+  let tm = lnot t.tid_mask.(txn.owner) in
   for i = 0 to Vec.length txn.read_lines - 1 do
-    clear_bit t.line_readers (Vec.get txn.read_lines i) txn.owner
+    let ix = (Vec.get txn.read_lines i * bitset_words) + tw in
+    t.line_readers.(ix) <- t.line_readers.(ix) land tm
   done;
   for i = 0 to Vec.length txn.write_lines - 1 do
-    clear_bit t.line_writers (Vec.get txn.write_lines i) txn.owner
+    let ix = (Vec.get txn.write_lines i * bitset_words) + tw in
+    t.line_writers.(ix) <- t.line_writers.(ix) land tm
   done
 
 (* Discard the active transaction and deliver the abort to the caller. *)
@@ -273,13 +317,16 @@ let check_doomed t txn =
    sits on every memory access. *)
 let doom_from t ~me ~line flat =
   let base = line * bitset_words in
-  for w = 0 to bitset_words - 1 do
-    let x = ref flat.(base + w) in
+  (* [base + w] is under [lines_cap * bitset_words] ([ensure_lines] ran);
+     [!other] is only dereferenced on a set bit, and bits are only ever set
+     for registered tids. *)
+  for w = 0 to t.nw - 1 do
+    let x = ref (Array.unsafe_get flat (base + w)) in
     if !x <> 0 then begin
       let other = ref (w * bits_per_word) in
       while !x <> 0 do
         (if !x land 1 <> 0 && !other <> me then
-           match t.txns.(!other) with
+           match Array.unsafe_get t.txns !other with
            | Some txn when txn.doomed = None ->
                txn.doomed <- doomed_conflict;
                Heatmap.conflict t.heatmap line;
@@ -296,9 +343,24 @@ let doom_from t ~me ~line flat =
     end
   done
 
+(* Same-line batching (see [idx_gen] in the type): a repeat walk by the
+   same thread on the same line is skipped while no bit has been set
+   anywhere since the recorded walk — everything it could doom is already
+   doomed.  A read-strength walk cannot stand in for a write-strength one
+   (it never visited the readers), hence the [fp_write] check. *)
 let doom_conflicting t ~me ~line ~against_readers =
-  doom_from t ~me ~line t.line_writers;
-  if against_readers then doom_from t ~me ~line t.line_readers
+  if
+    t.fp_tid = me && t.fp_line = line && t.fp_gen = t.idx_gen
+    && (t.fp_write || not against_readers)
+  then ()
+  else begin
+    doom_from t ~me ~line t.line_writers;
+    if against_readers then doom_from t ~me ~line t.line_readers;
+    t.fp_tid <- me;
+    t.fp_line <- line;
+    t.fp_gen <- t.idx_gen;
+    t.fp_write <- against_readers
+  end
 
 (* Cache-pressure eviction: every memory access can knock a speculative
    line out of the L1 it shares with the accessor — the victim transaction
@@ -321,11 +383,14 @@ let consider_evict t ~me txn denom total_lines =
     end
   end
 
-let rec consider_siblings t ~me denom total_lines = function
-  | [] -> ()
-  | txn :: rest ->
-      if txn.owner <> me then consider_evict t ~me txn denom total_lines;
-      consider_siblings t ~me denom total_lines rest
+let consider_siblings t ~me denom total_lines tids n =
+  for i = 0 to n - 1 do
+    let o = Array.unsafe_get tids i in
+    if o <> me then
+      match Array.unsafe_get t.txns o with
+      | Some txn -> consider_evict t ~me txn denom total_lines
+      | None -> ()
+  done
 
 let pressure_evict t ~me =
   if t.backend = Stm then ()
@@ -336,13 +401,24 @@ let pressure_evict t ~me =
     | Some txn -> consider_evict t ~me txn t.cache.Cache.self_evict_denom total_lines
     | None -> ());
     (* Sibling interference: transactions whose logical core shares our L1.
-       The registry list is ascending in owner tid, so the RNG draws happen
-       in the same order as the old full-array sweep. *)
-    let my_lcore = Sched.lcore_of t.sched me in
-    let sib = Topology.sibling_ix (Sched.topology t.sched) my_lcore in
+       The registry slice is ascending in owner tid, so the RNG draws happen
+       in the same order as the old full-array sweep.  The sibling lcore is
+       resolved once per thread (threads never migrate). *)
+    let sib = t.sib_ix.(me) in
+    let sib =
+      if sib >= -1 then sib
+      else begin
+        let s =
+          Topology.sibling_ix (Sched.topology t.sched)
+            (Sched.lcore_of t.sched me)
+        in
+        t.sib_ix.(me) <- s;
+        s
+      end
+    in
     if sib >= 0 then
       consider_siblings t ~me t.cache.Cache.sibling_evict_denom total_lines
-        t.active.(sib)
+        t.act_tids.(sib) t.act_len.(sib)
   end
 
 (* Coherence cost of touching [line]: reads miss on remotely-dirty lines
@@ -350,7 +426,7 @@ let pressure_evict t ~me =
    the line exclusively. *)
 let coherence_cost t ~me ~line ~is_write =
   (* [st] = owner * 2 + dirty, or -1 when the line was never touched. *)
-  let st = t.line_state.(line) in
+  let st = Array.unsafe_get t.line_state line in
   let extra =
     if st < 0 then 0
     else begin
@@ -361,11 +437,11 @@ let coherence_cost t ~me ~line ~is_write =
       else 0
     end
   in
-  if is_write then t.line_state.(line) <- (me lsl 1) lor 1
+  if is_write then Array.unsafe_set t.line_state line ((me lsl 1) lor 1)
   else if st < 0 || (st land 1 = 1 && st lsr 1 <> me) then
     (* Never-seen line, or a dirty line downgraded to shared on a remote
        read; a clean line (or our own dirty line) keeps its state. *)
-    t.line_state.(line) <- me lsl 1;
+    Array.unsafe_set t.line_state line (me lsl 1);
   extra
 
 let effective_ways t =
@@ -373,20 +449,60 @@ let effective_ways t =
   if Sched.sibling_active t.sched (tid t) then max 1 (ways / 2)
   else max 1 ways
 
-(* Track [line] in the transaction's footprint; abort on associativity
-   overflow of its cache set. *)
-let track t txn line =
-  if not (vec_mem txn.lines line) then begin
-    if t.backend = Htm then begin
-      let set = Cache.set_of t.cache line in
-      let occ = txn.set_occ.(set) + 1 in
-      if occ > effective_ways t then begin
-        Heatmap.capacity t.heatmap line;
-        do_abort t txn Htm_stats.Capacity
+(* Fused track+note for the two dominant access paths: one index/mask
+   computation and one bitset-load pair serves the footprint-membership
+   test, the capacity check and the read-set (resp. write-set) insertion.
+   Semantically [track] followed by [note_read] (resp. [note_write]) —
+   including the capacity abort firing before anything is recorded. *)
+(* Unchecked array accesses in the fused paths: [ensure_lines] ran first,
+   so [ix] is under [lines_cap * bitset_words]; [owner] is a registered
+   tid, under [max_threads]. *)
+let track_note_read t txn line =
+  let ix = (line * bitset_words) + Array.unsafe_get t.tid_word txn.owner in
+  let m = Array.unsafe_get t.tid_mask txn.owner in
+  let r = Array.unsafe_get t.line_readers ix in
+  if r land m = 0 then begin
+    if Array.unsafe_get t.line_writers ix land m = 0 then begin
+      if t.backend = Htm then begin
+        let set = Cache.set_of t.cache line in
+        let occ = txn.set_occ.(set) + 1 in
+        if occ > effective_ways t then begin
+          Heatmap.capacity t.heatmap line;
+          do_abort t txn Htm_stats.Capacity
+        end;
+        txn.set_occ.(set) <- occ
       end;
-      txn.set_occ.(set) <- occ
+      Vec.push txn.lines line
     end;
-    Vec.push txn.lines line
+    Vec.push txn.read_lines line;
+    Array.unsafe_set t.line_readers ix (r lor m);
+    t.idx_gen <- t.idx_gen + 1;
+    let hw = Array.unsafe_get t.tid_word txn.owner + 1 in
+    if hw > t.nw then t.nw <- hw
+  end
+
+let track_note_write t txn line =
+  let ix = (line * bitset_words) + Array.unsafe_get t.tid_word txn.owner in
+  let m = Array.unsafe_get t.tid_mask txn.owner in
+  let w = Array.unsafe_get t.line_writers ix in
+  if w land m = 0 then begin
+    if Array.unsafe_get t.line_readers ix land m = 0 then begin
+      if t.backend = Htm then begin
+        let set = Cache.set_of t.cache line in
+        let occ = txn.set_occ.(set) + 1 in
+        if occ > effective_ways t then begin
+          Heatmap.capacity t.heatmap line;
+          do_abort t txn Htm_stats.Capacity
+        end;
+        txn.set_occ.(set) <- occ
+      end;
+      Vec.push txn.lines line
+    end;
+    Vec.push txn.write_lines line;
+    Array.unsafe_set t.line_writers ix (w lor m);
+    t.idx_gen <- t.idx_gen + 1;
+    let hw = Array.unsafe_get t.tid_word txn.owner + 1 in
+    if hw > t.nw then t.nw <- hw
   end
 
 (* STM helpers: a global per-line version clock bumped on every committed
@@ -473,8 +589,7 @@ let txn_read t txn addr =
   let line = Cache.line_of t.cache addr in
   ensure_lines t line;
   Heatmap.touch t.heatmap line;
-  track t txn line;
-  note_read t txn line;
+  track_note_read t txn line;
   (match t.backend with
   | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:false
   | Stm -> stm_note_read t txn line);
@@ -505,8 +620,7 @@ let txn_write t txn addr v =
   let line = Cache.line_of t.cache addr in
   ensure_lines t line;
   Heatmap.touch t.heatmap line;
-  track t txn line;
-  note_write t txn line;
+  track_note_write t txn line;
   (match t.backend with
   | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:true
   | Stm -> stm_note_read t txn line);
@@ -627,8 +741,7 @@ let nt_cas t addr ~expect desired =
       let line = Cache.line_of t.cache addr in
       ensure_lines t line;
       Heatmap.touch t.heatmap line;
-      track t txn line;
-      note_read t txn line;
+      track_note_read t txn line;
       let cur =
         let i = write_index txn addr in
         if i >= 0 then Vec.get txn.w_val i
@@ -685,8 +798,7 @@ let nt_fetch_add t addr delta =
       let line = Cache.line_of t.cache addr in
       ensure_lines t line;
       Heatmap.touch t.heatmap line;
-      track t txn line;
-      note_read t txn line;
+      track_note_read t txn line;
       note_write t txn line;
       doom_conflicting t ~me:txn.owner ~line ~against_readers:true;
       let cur =

@@ -34,9 +34,11 @@ let create ~tid =
 
 let tid t = t.tid
 
+(* [n_registers] is a power of two and the cursor is nonnegative, so the
+   wrap is a mask (this runs on every simulated shared load). *)
 let note_load t v =
   t.work_regs.(t.reg_cursor) <- v;
-  t.reg_cursor <- (t.reg_cursor + 1) mod n_registers
+  t.reg_cursor <- (t.reg_cursor + 1) land (n_registers - 1)
 
 let local_set t slot v =
   assert (slot >= 0 && slot < max_frame);

@@ -191,15 +191,21 @@ let free t ~tid addr =
     end
   end
 
+(* The success branches skip the bounds checks: [in_heap] established
+   [heap_base <= addr < brk], and every array covers [brk]
+   ([ensure_capacity] grows them before [brk] moves).  These two functions
+   sit under every simulated memory access. *)
 let read t ~tid addr =
-  if in_heap t addr && t.owner.(addr) <> 0 then t.words.(addr)
+  if in_heap t addr && Array.unsafe_get t.owner addr <> 0 then
+    Array.unsafe_get t.words addr
   else begin
     Shadow.record t.shadow Read_after_free ~addr ~tid;
     if addr >= 0 && addr < Array.length t.words then t.words.(addr) else poison
   end
 
 let write t ~tid addr v =
-  if in_heap t addr && t.owner.(addr) <> 0 then t.words.(addr) <- v
+  if in_heap t addr && Array.unsafe_get t.owner addr <> 0 then
+    Array.unsafe_set t.words addr v
   else begin
     Shadow.record t.shadow Write_after_free ~addr ~tid;
     if addr >= 0 && addr < Array.length t.words then t.words.(addr) <- v

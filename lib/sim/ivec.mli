@@ -1,0 +1,17 @@
+(** Int-specialized growable vector.
+
+    {!Vec} is polymorphic, so every [push] store goes through the generic
+    write barrier ([caml_modify]) even when the payload is an immediate.
+    The StackTrack replay log pushes one packed entry per simulated memory
+    access; specializing to [int array] makes that store a plain write. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val truncate : t -> int -> unit
+(** Keep only the first [n] elements. *)
+
+val clear : t -> unit

@@ -35,30 +35,88 @@ type thread = {
          simulated handler only mutates shared scheme state) *)
   mutable self_opt : thread option;
       (* == Some this, built once at registration: [dispatch] runs once per
-         cycle charge, and assigning a fresh [Some th] there was a minor
-         allocation per charge *)
+         resumption, and assigning a fresh [Some th] there was a minor
+         allocation per resume *)
 }
+
+(* Flat ring run queue, one per lcore.  Thread membership never grows after
+   [run] starts (threads are only registered up front), so each ring is
+   allocated once, at exactly the per-lcore thread count; quantum rotation
+   and dead-thread removal are O(1) head/length moves, with no [Queue]
+   module calls and no allocation anywhere on the scheduling path. *)
+type rq = {
+  mutable ring : thread array;
+  mutable head : int;
+  mutable rlen : int;
+}
+
+let rq_push q th =
+  let cap = Array.length q.ring in
+  let ix = q.head + q.rlen in
+  (* head < cap and rlen <= cap always hold (rings are sized to the
+     lcore's full thread count), so the wrapped index is in range. *)
+  Array.unsafe_set q.ring (if ix >= cap then ix - cap else ix) th;
+  q.rlen <- q.rlen + 1
+
+let rq_pop q =
+  let th = Array.unsafe_get q.ring q.head in
+  let h = q.head + 1 in
+  q.head <- (if h >= Array.length q.ring then 0 else h);
+  q.rlen <- q.rlen - 1;
+  th
+
+let rq_peek q = Array.unsafe_get q.ring q.head
 
 type t = {
   topo : Topology.t;
   costs : Costs.t;
   quantum : int;
   ht_penalty_pct : int;
+  pen_num : int;
+  pen_den : int;
+      (* [ht_penalty_pct / 100] in lowest terms: the penalty multiply on
+         every cycle charge becomes [cost * pen_num / pen_den], and the
+         common denominators get a multiply-shift reciprocal instead of a
+         hardware divide (ocamlopt does not strength-reduce division by a
+         non-power-of-two constant, and this division sits on every
+         simulated memory access of an SMT-contended run) *)
   rng : Rng.t;
   trace : Trace.t;
   profile : Profile.t;
+  profile_on : bool;
+      (* [Profile.enabled] is fixed at creation; caching it here keeps the
+         disabled case to one field read on the consume fast path instead
+         of a cross-module call *)
   mutable clocks : int array; (* per lcore *)
   mutable threads : thread list; (* reversed during registration *)
   mutable n_registered : int;
       (* length of [threads]; kept explicitly so tid assignment in
          [add_thread] is O(1) instead of an O(n) List.length per add *)
   mutable arr : thread array;
-  mutable queues : thread Queue.t array; (* per lcore, runnable order *)
+  mutable queues : rq array; (* per lcore, runnable order *)
   live_on : int array;
       (* per lcore: registered threads not yet Finished/Crashed.  Kept
          exact across every state transition so [sibling_active] — hit on
          every cycle charge and every HTM footprint extension — is a field
          read instead of a queue fold. *)
+  mutable next_event : int;
+  mutable next_lc : int;
+      (* Companion to [next_event], from the same per-dispatch scan: the
+         lcore (other than the running one) that [pick_lc] would choose —
+         minimal clock, lowest index on ties, -1 when no other lcore is
+         runnable.  Static for the burst for the same reason [next_event]
+         is, so the pick after a plain yield is a two-way compare between
+         this and the yielder's own lcore instead of a full scan. *)
+      (* The event wheel's horizon for the currently-running thread: the
+         lowest lcore-clock value at which that thread must surrender
+         control — the min of (a) the clock at which some other runnable
+         lcore would win [pick_lc] (crossover), and (b) the clock at which
+         its time slice expires while its own queue is contended (quantum).
+         Recomputed once per dispatch by [recompute_next_event]; valid for
+         the whole burst because only the running thread's clock can move
+         and queue membership only changes on the scheduler side.  [consume]
+         therefore charges and compares one int instead of scanning every
+         lcore's queue and clock on every cycle charge. *)
   mutable preempt_hooks : (int -> unit) list;
   mutable context_switches : int;
   mutable cur : thread option;
@@ -70,20 +128,28 @@ let create ?(topology = Topology.create ()) ?(costs = Costs.default)
     ?(trace = Trace.create ~enabled:false ())
     ?(profile = Profile.create ()) ~seed () =
   let n = Topology.lcores topology in
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let g = gcd ht_penalty_pct 100 in
+  let g = if g = 0 then 1 else g in
   {
     topo = topology;
     costs;
     quantum;
     ht_penalty_pct;
+    pen_num = ht_penalty_pct / g;
+    pen_den = 100 / g;
     rng = Rng.create ~seed;
     trace;
     profile;
+    profile_on = Profile.enabled profile;
     clocks = Array.make n 0;
     threads = [];
     n_registered = 0;
     arr = [||];
-    queues = Array.init n (fun _ -> Queue.create ());
+    queues = Array.init n (fun _ -> { ring = [||]; head = 0; rlen = 0 });
     live_on = Array.make n 0;
+    next_event = max_int;
+    next_lc = -1;
     preempt_hooks = [];
     context_switches = 0;
     cur = None;
@@ -219,69 +285,125 @@ let signal t tid =
       raise Signal_interrupt
 
 (* The payload is never examined by the handler; performing a preallocated
-   effect value saves one allocation per cycle charge. *)
+   effect value saves one allocation per yield. *)
 let consume_eff = Consume 0
+
+(* Event-wheel horizon for [th], about to run on its lcore [lc].  [th]
+   must yield at the first charge that moves its clock [c] to:
+
+   - [c >= clocks.(j)]     for a runnable lcore [j < lc] (at equal clocks
+                           the lower index wins [pick_lc]), or
+   - [c >  clocks.(j)]     for a runnable lcore [j > lc], or
+   - [slice_used >= quantum] while its own queue is contended; slice and
+     clock advance in lockstep within a burst, so that is the fixed clock
+     value [clocks.(lc) - slice_used + quantum].
+
+   All three are static for the whole burst: no other lcore's clock can
+   advance while [th] runs, and queue membership only changes in scheduler
+   context (dispatch, quantum rotation, thread death) — a crash or signal
+   delivered by the running thread leaves its victim queued
+   (Doomed/Signalled) until next picked.  So the min folds into a single
+   int that the consume fast path compares against. *)
+let recompute_next_event t th =
+  let lc = th.lcore in
+  let qs = t.queues in
+  let clocks = t.clocks in
+  let ne = ref max_int in
+  let bc = ref max_int in
+  let bj = ref (-1) in
+  for j = 0 to Array.length qs - 1 do
+    if j <> lc && (Array.unsafe_get qs j).rlen > 0 then begin
+      let c = Array.unsafe_get clocks j in
+      let thr = c + (if j > lc then 1 else 0) in
+      if thr < !ne then ne := thr;
+      (* Strict [<] with an ascending scan keeps the lowest index on
+         clock ties — the same choice [pick_lc] makes. *)
+      if c < !bc then begin
+        bc := c;
+        bj := j
+      end
+    end
+  done;
+  t.next_lc <- !bj;
+  if qs.(lc).rlen > 1 then begin
+    let qexp = clocks.(lc) - th.slice_used + t.quantum in
+    if qexp < !ne then ne := qexp
+  end;
+  t.next_event <- !ne
+
+(* Trampoline fast path: charge the clocks and return.  The thread keeps
+   control — no continuation capture, no handler round-trip — until its
+   clock crosses the precomputed [next_event] horizon, i.e. until yielding
+   would actually hand the machine to a different thread (clock crossover)
+   or the quantum expires on a contended queue.  The schedule, hence every
+   observable interleaving, is identical to yielding on every charge: each
+   elided suspend/resume would have picked this same thread again. *)
+(* [cost * ht_penalty_pct / 100] with the division strength-reduced.  The
+   fraction is pre-reduced to [pen_num / pen_den]; the two truncated
+   quotients agree exactly because the rationals are equal.  The default
+   penalty (140%) reduces to 7/5, and division by 5 uses the
+   Granlund-Montgomery reciprocal [(y * 1717986919) lsr 33], exact for all
+   [0 <= y < 2^31] (1717986919 * 5 = 2^33 + 3, within the theorem's
+   tolerance for 31-bit dividends); charges are bounded by a run's virtual
+   duration times a small multiplier, far under 2^31, but the guard keeps
+   pathological charges correct through the generic divide. *)
+let penalize t cost =
+  let y = cost * t.pen_num in
+  let d = t.pen_den in
+  if d = 1 then y
+  else if d = 5 && y >= 0 && y < 0x40000000 then (y * 1717986919) lsr 33
+  else y / d
 
 let consume t cost =
   let th = cur_thread t in
+  (* [sib] and [lcore] are topology indices fixed at registration; the
+     clock/live arrays are sized by the lcore count, so the unchecked
+     accesses are in range by construction. *)
   let cost =
-    if th.sib >= 0 && t.live_on.(th.sib) > 0 then
-      cost * t.ht_penalty_pct / 100
+    if th.sib >= 0 && Array.unsafe_get t.live_on th.sib > 0 then
+      penalize t cost
     else cost
   in
   let lc = th.lcore in
-  t.clocks.(lc) <- t.clocks.(lc) + cost;
+  let c = Array.unsafe_get t.clocks lc + cost in
+  Array.unsafe_set t.clocks lc c;
   th.slice_used <- th.slice_used + cost;
   th.consumed <- th.consumed + cost;
-  Profile.charge t.profile ~tid:th.tid cost;
-  (* Fast path: when yielding would hand control straight back to this
-     thread, skip the effect round-trip (continuation capture, handler,
-     [pick], resume).  That is the case exactly when (a) the quantum check
-     in [maybe_preempt] would not fire, and (b) this lcore would win [pick]
-     again: no other lcore with a nonempty run queue has a smaller clock,
-     nor an equal clock at a smaller index (the running thread is always
-     the head of its own queue).  The schedule — hence every observable
-     interleaving — is identical; only the no-op suspend/resume is
-     elided. *)
-  if th.slice_used >= t.quantum && Queue.length t.queues.(lc) > 1 then
-    perform consume_eff
-  else begin
-    let c = t.clocks.(lc) in
-    let n = Array.length t.queues in
-    let i = ref 0 in
-    let still_min = ref true in
-    while !still_min && !i < n do
-      let j = !i in
-      (if j <> lc && not (Queue.is_empty t.queues.(j)) then
-         let cj = t.clocks.(j) in
-         if cj < c || (cj = c && j < lc) then still_min := false);
-      incr i
-    done;
-    if not !still_min then perform consume_eff
-  end
+  if t.profile_on then Profile.charge t.profile ~tid:th.tid cost;
+  if c >= t.next_event then perform consume_eff
 
-(* Pick the runnable thread whose lcore clock is minimal (first such lcore
-   on ties, matching iteration order).  Queue heads are the scheduled
-   thread of each lcore; others on the same lcore wait for a quantum
-   expiry.  Plain loop with int state: this runs once per cycle charge, so
-   the [Some (c, lc)] accumulator of the closure version was two minor
-   allocations per improvement step, per charge. *)
-let pick t =
+(* Timed wait until the absolute tick [deadline] (the harness samplers'
+   idiom): one charge for the remaining distance, through the same horizon
+   check.  Charging at least 1 cycle keeps a sampler that already reached
+   its deadline from looping without advancing its clock. *)
+let sleep_until t ~deadline =
+  let rem = deadline - now t in
+  consume t (if rem > 0 then rem else 1)
+
+(* Pick the lcore whose runnable-queue head should run next: minimal clock,
+   first such lcore on ties, matching iteration order.  Queue heads are the
+   scheduled thread of each lcore; others on the same lcore wait for a
+   quantum expiry.  Returns -1 when no thread is runnable.  Int result: a
+   [thread option] here was a [Some] allocation per resumption. *)
+let pick_lc t =
   let best_lc = ref (-1) in
   let best_c = ref max_int in
-  for lc = 0 to Array.length t.queues - 1 do
-    if not (Queue.is_empty t.queues.(lc)) then begin
-      let c = t.clocks.(lc) in
+  let qs = t.queues in
+  let clocks = t.clocks in
+  for lc = 0 to Array.length qs - 1 do
+    if (Array.unsafe_get qs lc).rlen > 0 then begin
+      let c = Array.unsafe_get clocks lc in
       if !best_lc < 0 || c < !best_c then begin
         best_lc := lc;
         best_c := c
       end
     end
   done;
-  if !best_lc < 0 then None else Some (Queue.peek t.queues.(!best_lc))
+  !best_lc
 
 let maybe_preempt t th =
-  if th.slice_used >= t.quantum && Queue.length t.queues.(th.lcore) > 1 then begin
+  let q = t.queues.(th.lcore) in
+  if th.slice_used >= t.quantum && q.rlen > 1 then begin
     if Trace.on t.trace then
       Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
         "preempt" (fun () -> Printf.sprintf "lcore=%d" th.lcore);
@@ -293,23 +415,20 @@ let maybe_preempt t th =
     if Trace.on t.trace then
       Trace.instant t.trace ~time:t.clocks.(th.lcore) ~tid:th.tid Trace.Sched
         "context-switch" (fun () ->
-          Printf.sprintf "lcore=%d runnable=%d" th.lcore
-            (Queue.length t.queues.(th.lcore)));
+          Printf.sprintf "lcore=%d runnable=%d" th.lcore q.rlen);
     th.slice_used <- 0;
-    let q = t.queues.(th.lcore) in
-    let head = Queue.pop q in
+    let head = rq_pop q in
     assert (head == th);
-    Queue.push th q
+    rq_push q th
   end
 
 let remove_from_queue t th =
-  let q = t.queues.(th.lcore) in
-  let head = Queue.pop q in
+  let head = rq_pop t.queues.(th.lcore) in
   assert (head == th)
 
 let handler t th =
   (* Hoisted out of [effc]: building this closure inside the [Consume]
-     branch allocated it afresh on every single cycle charge. *)
+     branch allocated it afresh on every single yield. *)
   let on_consume (k : (unit, unit) continuation) =
     th.state <- Suspended k;
     maybe_preempt t th
@@ -342,6 +461,7 @@ let handler t th =
 
 let dispatch t th =
   t.cur <- th.self_opt;
+  recompute_next_event t th;
   (match th.state with
   | Not_started body ->
       th.state <- Running;
@@ -365,17 +485,44 @@ let run t =
   assert (not t.started);
   t.started <- true;
   t.arr <- Array.of_list (List.rev t.threads);
-  Array.iter (fun th -> Queue.push th t.queues.(th.lcore)) t.arr;
+  if Array.length t.arr > 0 then begin
+    (* Size each ring to exactly its lcore's thread count; the dummy fill
+       is overwritten by the pushes below. *)
+    let counts = Array.make (Array.length t.queues) 0 in
+    Array.iter (fun th -> counts.(th.lcore) <- counts.(th.lcore) + 1) t.arr;
+    Array.iteri
+      (fun lc q ->
+        if counts.(lc) > 0 then q.ring <- Array.make counts.(lc) t.arr.(0))
+      t.queues;
+    Array.iter (fun th -> rq_push t.queues.(th.lcore) th) t.arr
+  end;
+  (* [step lc] runs the head of [lc]'s queue.  After a plain yield the
+     winner of the next pick is decidable in O(1): the yielder's own lcore
+     is still runnable (the thread is queued, Suspended), every other
+     lcore's clock and queue membership are as they were at dispatch, so
+     the full scan reduces to a two-way compare between the yielder's
+     lcore and the cached [next_lc].  Everything else — thread death,
+     corpses of crashed never-started threads at a queue head — falls back
+     to the full [pick_lc] scan. *)
   let rec loop () =
-    match pick t with
-    | None -> ()
-    | Some th -> (
+    let lc = pick_lc t in
+    if lc >= 0 then step lc
+  and step lc =
+    let th = rq_peek t.queues.(lc) in
+    match th.state with
+    | Crashed | Finished ->
+        ignore (rq_pop t.queues.(lc));
+        loop ()
+    | _ -> (
+        dispatch t th;
         match th.state with
-        | Crashed | Finished ->
-            remove_from_queue t th;
-            loop ()
-        | _ ->
-            dispatch t th;
-            loop ())
+        | Suspended _ ->
+            let nl = t.next_lc in
+            if nl >= 0 then begin
+              let cn = t.clocks.(nl) and cl = t.clocks.(lc) in
+              if cn < cl || (cn = cl && nl < lc) then step nl else step lc
+            end
+            else step lc
+        | _ -> loop ())
   in
   loop ()

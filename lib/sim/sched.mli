@@ -82,7 +82,21 @@ val run : t -> unit
 
 val consume : t -> int -> unit
 (** [consume t c] charges [c] cycles to the calling thread's core and yields
-    to the scheduler.  This is the only interleaving point. *)
+    to the scheduler.  This is the only interleaving point.  Internally a
+    trampoline: the charge is a plain function call (three int updates and
+    one compare against the precomputed event-wheel horizon), and the
+    thread only performs the scheduling effect — continuation capture,
+    handler, re-pick — when yielding would actually transfer control:
+    another runnable lcore's clock is crossed, or the quantum expires on a
+    contended queue.  The resulting schedule is identical to yielding on
+    every charge. *)
+
+val sleep_until : t -> deadline:int -> unit
+(** [sleep_until t ~deadline] consumes exactly the cycles separating the
+    calling thread's clock from the absolute tick [deadline] (at least 1
+    cycle when the deadline has already passed) — the harness samplers'
+    timed-wait idiom, routed through the same event-wheel check as
+    {!consume}. *)
 
 val current : t -> int
 (** Id of the running thread.  Only valid inside a thread body. *)

@@ -168,9 +168,37 @@ let test_alloc_budget_txn () =
           Tsx.commit tsx
         done)
   in
-  (* Whole segments: start + 3 accesses + commit.  The active-registry
-     list cons per segment (3 words) is the only tolerated allocation. *)
-  check_budget "txn segment" 10_000 words 4.0
+  (* Whole segments: start + 3 accesses + commit.  Zero: the active
+     registry is flat tid arrays (shift insert/remove), so not even the
+     per-segment list cons survives. *)
+  check_budget "txn segment" 10_000 words 0.0
+
+(* The trampoline consume fast path: a charge that does not cross the
+   event-wheel horizon is a plain function call — three int updates and a
+   compare — and must allocate NOTHING.  One thread on the machine means
+   [next_event] stays at [max_int], so none of the 10k charges performs
+   the scheduling effect; the only tolerated words are the [Gc.minor_words]
+   result boxes themselves (a few words total, not per charge). *)
+let test_alloc_budget_consume () =
+  let sched =
+    Sched.create ~topology:(Topology.create ~cores:4 ~smt:2 ()) ~seed:3 ()
+  in
+  let words = ref infinity in
+  let _ =
+    Sched.add_thread sched (fun _tid ->
+        Sched.consume sched 100;
+        let w0 = Gc.minor_words () in
+        for _ = 1 to 10_000 do
+          Sched.consume sched 7
+        done;
+        words := Gc.minor_words () -. w0)
+  in
+  Sched.run sched;
+  Alcotest.(check bool)
+    (Printf.sprintf "no-effect consume allocates nothing (%.1f words/10k)"
+       !words)
+    true
+    (!words <= 8.0)
 
 (* ------------------------------------------------------------------ *)
 (* Same-seed identity goldens                                          *)
@@ -215,6 +243,20 @@ let identity_cases =
       identity_cfg Experiment.Queue_s Experiment.Hazards 8 );
     ( "goldens/identity_queue_epoch.json",
       identity_cfg Experiment.Queue_s Experiment.Epoch 8 );
+    ( "goldens/identity_list_debra.json",
+      identity_cfg Experiment.List_s Experiment.Debra 12 );
+    ( "goldens/identity_list_debra_plus.json",
+      identity_cfg Experiment.List_s Experiment.Debra_plus 12 );
+    ( "goldens/identity_list_hazard_eras.json",
+      identity_cfg Experiment.List_s Experiment.Hazard_eras 12 );
+    (* The lifecycle ledger rides the same run: its samplers and per-object
+       event stream are schedule-sensitive, so this golden also pins the
+       sampler timed-wait path ([Sched.sleep_until]). *)
+    ( "goldens/identity_list_st_lifecycle.json",
+      {
+        (identity_cfg Experiment.List_s Experiment.stacktrack_default 12) with
+        Experiment.lifecycle = true;
+      } );
   ]
 
 let test_identity_goldens () =
@@ -256,6 +298,7 @@ let () =
         [
           quick "nt access path" test_alloc_budget_nt;
           quick "txn segment path" test_alloc_budget_txn;
+          quick "consume fast path" test_alloc_budget_consume;
         ] );
       ( "identity",
         [
