@@ -36,11 +36,13 @@ let json_out = ref None
 let profile = ref false
 let flame_out = ref None
 let lifecycle = ref false
+let forensics = ref false
 
 let usage () =
   prerr_endline
     "usage: main.exe [target ...] [--quick|--full] [--verbose] [--jobs N] \
-     [--json-out FILE] [--profile] [--flame-out FILE] [--lifecycle]";
+     [--json-out FILE] [--profile] [--flame-out FILE] [--lifecycle] \
+     [--forensics]";
   exit 2
 
 let parse_args () =
@@ -75,6 +77,9 @@ let parse_args () =
     | [ "--flame-out" ] -> usage ()
     | "--lifecycle" :: rest ->
         lifecycle := true;
+        go rest
+    | "--forensics" :: rest ->
+        forensics := true;
         go rest
     | t :: rest ->
         targets := t :: !targets;
@@ -178,7 +183,8 @@ let () =
   if want "fig2-hash" then
     collect_rows (Figures.fig2_hash ~verbose ~jobs ~profile ~lifecycle ~speed ());
   if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~jobs ~speed ());
-  if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~jobs ~speed ());
+  if want "fig4-splits" then
+    ignore (Figures.fig4_splits ~verbose ~jobs ~forensics:!forensics ~speed ());
   if want "fig5-slowpath" then ignore (Figures.fig5_slowpath ~verbose ~jobs ~speed ());
   if want "scan-behavior" then ignore (Figures.scan_behavior ~verbose ~jobs ~speed ());
   if want "ablations" then begin

@@ -117,7 +117,75 @@ let print_result (r : Experiment.result) =
             row.heat.St_htm.Heatmap.capacity
             (Option.value ~default:"-" row.owner))
         rows
-  | _ -> ())
+  | _ -> ());
+  let take n l =
+    let rec go n = function
+      | x :: rest when n > 0 -> x :: go (n - 1) rest
+      | _ -> []
+    in
+    go n l
+  in
+  (* Conflict-doom tally is always recorded (it is the cross-check twin of
+     the forensics matrix), so the doomed-by table prints whenever there
+     were conflict dooms, flagged run or not. *)
+  (match r.Experiment.conflict_lines with
+  | [] -> ()
+  | lines ->
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 lines in
+      printf "  doomed-by lines     %d dooms across %d cache lines@." total
+        (List.length lines);
+      List.iter
+        (fun (line, dooms) -> printf "    line %-8d %6d dooms@." line dooms)
+        (take 5 lines));
+  match r.Experiment.forensics with
+  | None -> ()
+  | Some fx ->
+      printf "  abort forensics     conflict=%d capacity=%d interrupt=%d dooms@."
+        fx.Experiment.fx_conflict_dooms fx.Experiment.fx_capacity_dooms
+        fx.Experiment.fx_interrupt_dooms;
+      printf "    wasted cycles     %s (total %d = profiler %d)@."
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              fx.Experiment.fx_wasted))
+        fx.Experiment.fx_wasted_total fx.Experiment.fx_profile_wasted;
+      (match
+         take 5
+           (List.sort
+              (fun (a : Experiment.doomed_pair) b -> compare b.dooms a.dooms)
+              fx.Experiment.fx_conflict_pairs)
+       with
+      | [] -> ()
+      | pairs ->
+          printf "    doomed pairs      (victim <- aborter)@.";
+          List.iter
+            (fun (p : Experiment.doomed_pair) ->
+              printf "      tid%-3d <- tid%-3d %6d dooms@." p.victim p.aborter
+                p.dooms)
+            pairs);
+      (match take 5 fx.Experiment.fx_segments with
+      | [] -> ()
+      | segs ->
+          printf "    hot segments      (op_id/split)@.";
+          List.iter
+            (fun (s : St_htm.Forensics.segment) ->
+              printf "      op%d/%-3d aborts=%-6d chains=%-6d max_depth=%d@."
+                s.St_htm.Forensics.op_id s.St_htm.Forensics.split
+                s.St_htm.Forensics.aborts s.St_htm.Forensics.chains
+                s.St_htm.Forensics.depth_max)
+            segs);
+      let h = fx.Experiment.fx_retry_hist in
+      if Latency.count h > 0 then
+        printf "    retry depth       p50 %d  p95 %d  p99 %d  max %d@."
+          (Latency.percentile h 50.) (Latency.percentile h 95.)
+          (Latency.percentile h 99.) (Latency.max_value h);
+      if fx.Experiment.fx_segments_tracked > 0 then
+        printf "    predictor         %d segment(s) tracked, %d limit change(s)%s@."
+          fx.Experiment.fx_segments_tracked
+          (List.length fx.Experiment.fx_timeline)
+          (if fx.Experiment.fx_timeline_dropped > 0 then
+             Printf.sprintf " (%d dropped)" fx.Experiment.fx_timeline_dropped
+           else "")
 
 let run_cmd =
   let structure =
@@ -251,9 +319,23 @@ let run_cmd =
              to --trace-out.  Registers an extra sampler thread, so the \
              schedule differs from an unflagged run.")
   in
+  let forensics =
+    Arg.(
+      value & flag
+      & info [ "forensics" ]
+          ~doc:
+            "Record abort forensics: who-doomed-whom attribution (victim x \
+             aborter matrix, doomed cache lines mapped to their owning \
+             objects), per-cause wasted-cycle split, per-segment retry \
+             chains, and the split-predictor decision timeline.  Adds an \
+             abort-forensics block to the text report, an htm_forensics \
+             section to --json output, and limit-change instants plus a \
+             split_limit counter track to --trace-out.  Pure bookkeeping \
+             at existing charge sites: the simulated run is unchanged.")
+  in
   let run structure scheme threads duration keys init mutations seed buckets
       forced_slow max_free hash_scan crash zipf json trace_out trace_capacity
-      metrics_interval profile flame_out lifecycle =
+      metrics_interval profile flame_out lifecycle forensics =
     match scheme_of_string ~forced_slow ~max_free ~hash_scan scheme with
     | Error e ->
         prerr_endline e;
@@ -294,6 +376,7 @@ let run_cmd =
             trace;
             profile = profile || flame_out <> None;
             lifecycle;
+            forensics;
           }
         in
         let r = Experiment.run cfg in
@@ -329,7 +412,7 @@ let run_cmd =
       const run $ structure $ scheme $ threads $ duration $ keys $ init
       $ mutations $ seed $ buckets $ forced_slow $ max_free $ hash_scan $ crash
       $ zipf $ json $ trace_out $ trace_capacity $ metrics_interval $ profile
-      $ flame_out $ lifecycle)
+      $ flame_out $ lifecycle $ forensics)
 
 let figures_cmd =
   let names =
@@ -368,7 +451,17 @@ let figures_cmd =
              reclamation-health notes (limbo peaks, retire-to-free lag, \
              stagnation incidents) to each report.")
   in
-  let run names quick verbose jobs lifecycle =
+  let forensics =
+    Arg.(
+      value & flag
+      & info [ "forensics" ]
+          ~doc:
+            "Run the split-predictor figure (fig4-splits) with the \
+             abort-forensics ledger on, appending per-point notes \
+             (segments tracked, predictor limit changes, final limit \
+             range) under the table.")
+  in
+  let run names quick verbose jobs lifecycle forensics =
     if jobs < 0 then begin
       prerr_endline "stacktrack_bench: --jobs must be >= 0";
       exit 2
@@ -384,7 +477,8 @@ let figures_cmd =
     if want "fig2-hash" then
       ignore (Figures.fig2_hash ~verbose ~jobs ~lifecycle ~speed ());
     if want "fig3-aborts" then ignore (Figures.fig3_aborts ~verbose ~jobs ~speed ());
-    if want "fig4-splits" then ignore (Figures.fig4_splits ~verbose ~jobs ~speed ());
+    if want "fig4-splits" then
+      ignore (Figures.fig4_splits ~verbose ~jobs ~forensics ~speed ());
     if want "fig5-slowpath" then
       ignore (Figures.fig5_slowpath ~verbose ~jobs ~speed ());
     if want "scan-behavior" then
@@ -403,7 +497,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's figures.")
-    Term.(const run $ names $ quick $ verbose $ jobs $ lifecycle)
+    Term.(const run $ names $ quick $ verbose $ jobs $ lifecycle $ forensics)
 
 let main =
   Cmd.group

@@ -104,12 +104,36 @@ let create ?(cfg = St_config.default) rt =
 let create_thread s ~tid =
   let ctx = Ctx.create ~tid in
   Activity.register s.rt.Guard.activity ctx;
+  (* The predictor decision timeline: installed only when forensics is on,
+     so an unflagged run makes no extra calls and emits no extra trace
+     events (the committed trace goldens stay byte-identical).  The
+     callback does no RNG draws and no cycle charges. *)
+  let fx = Tsx.forensics s.rt.Guard.tsx in
+  let on_adjust =
+    if not (Forensics.enabled fx) then None
+    else
+      Some
+        (fun ~op_id ~split ~old_limit ~limit ~grow ->
+          let sched = s.rt.Guard.sched in
+          let now = Sched.now sched in
+          Forensics.on_limit_change fx ~time:now ~tid ~op_id ~split
+            ~old_limit ~limit ~grow;
+          let tr = Sched.trace sched in
+          if Trace.on tr then begin
+            Trace.instant tr ~time:now ~tid Trace.Engine
+              (if grow then "limit-grow" else "limit-shrink")
+              (fun () ->
+                Printf.sprintf "op=%d split=%d %d->%d" op_id split old_limit
+                  limit);
+            Trace.counter tr ~time:now ~tid Trace.Engine "split_limit" limit
+          end)
+  in
   let th =
     {
       s;
       tid;
       ctx;
-      predictor = Predictor.create s.cfg;
+      predictor = Predictor.create ?on_adjust s.cfg;
       free_set = Vec.create ();
       refs_set = Hashtbl.create 32;
       scan_scratch = Hashtbl.create 256;
@@ -159,6 +183,11 @@ let split_commit env =
   Sched.consume (sched env) (n * (costs env).expose_word);
   Tsx.commit (tsx env);
   ignore (Ctx.expose env.th.ctx);
+  (* The retry chain of this segment is complete: [seg_failures] aborts,
+     then this commit.  Recorded before the predictor resets anything. *)
+  Forensics.on_retry_chain
+    (Tsx.forensics env.tx)
+    ~op_id:env.op_id ~split:env.split_idx ~depth:env.seg_failures;
   Predictor.on_commit env.th.predictor ~op_id:env.op_id ~split:env.split_idx;
   let st = env.th.s.st in
   st.Scheme_stats.segments <- st.Scheme_stats.segments + 1;
@@ -251,6 +280,10 @@ let rollback env =
 let on_hw_abort env (reason : Htm_stats.abort_reason) =
   Predictor.on_abort env.th.predictor ~op_id:env.op_id ~split:env.split_idx;
   env.seg_failures <- env.seg_failures + 1;
+  (* Segment identity of the abort: which (op, split) keeps failing. *)
+  Forensics.on_segment_abort
+    (Tsx.forensics env.tx)
+    ~op_id:env.op_id ~split:env.split_idx;
   if env.live then begin
     let tr = trace env in
     if Trace.on tr then
@@ -683,6 +716,9 @@ let finish_op env =
             (Ctx.exposed_size env.th.ctx * (costs env).expose_word);
         Tsx.commit (tsx env);
         if expose_final then ignore (Ctx.expose env.th.ctx);
+        Forensics.on_retry_chain
+          (Tsx.forensics env.tx)
+          ~op_id:env.op_id ~split:env.split_idx ~depth:env.seg_failures;
         Predictor.on_commit env.th.predictor ~op_id:env.op_id
           ~split:env.split_idx;
         let st = env.th.s.st in
@@ -808,6 +844,38 @@ let atomic_region env f =
         env.region_depth <- env.region_depth - 1;
         raise e
   end
+
+(* ------------------------------------------------------------------ *)
+(* Predictor diagnostics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let segments_tracked s =
+  Array.fold_left
+    (fun acc -> function
+      | Some th -> acc + Predictor.segments_tracked th.predictor
+      | None -> acc)
+    0 s.threads
+
+type limit_row = { l_tid : int; l_op_id : int; l_split : int; l_limit : int }
+
+let predictor_limits s =
+  let rows = ref [] in
+  Array.iter
+    (function
+      | Some th ->
+          Predictor.iter th.predictor (fun ~op_id ~split ~limit ->
+              rows :=
+                { l_tid = th.tid; l_op_id = op_id; l_split = split;
+                  l_limit = limit }
+                :: !rows)
+      | None -> ())
+    s.threads;
+  List.sort
+    (fun a b ->
+      compare
+        (a.l_tid, a.l_op_id, a.l_split)
+        (b.l_tid, b.l_op_id, b.l_split))
+    !rows
 
 let quiesce th =
   if Vec.length th.free_set > 0 then scan_and_free th

@@ -48,6 +48,18 @@ val atomic_region : env -> (unit -> 'a) -> 'a
     may re-execute if the enclosing transaction aborts (the software slow
     path is the non-transactional backup). *)
 
+val segments_tracked : t -> int
+(** Sum over registered threads of {!Predictor.segments_tracked}: how many
+    distinct (op id, split index) segments the split-length predictors are
+    adapting. *)
+
+type limit_row = { l_tid : int; l_op_id : int; l_split : int; l_limit : int }
+
+val predictor_limits : t -> limit_row list
+(** Final per-segment split-length limits across every registered thread's
+    predictor, sorted by (tid, op id, split index) — the end state of the
+    Figure 4 convergence that the forensics decision timeline replays. *)
+
 val pending_frees : thread -> int
 (** Number of retired pointers buffered in this thread's free set, awaiting
     the next global scan. *)

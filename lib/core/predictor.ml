@@ -2,9 +2,16 @@ type cell = { mutable limit : int; mutable consec : int }
 (* [consec] counts the current run: positive for commits, negative for
    aborts; crossing the threshold adjusts [limit] and resets the run. *)
 
-type t = { cfg : St_config.t; cells : (int * int, cell) Hashtbl.t }
+type adjust =
+  op_id:int -> split:int -> old_limit:int -> limit:int -> grow:bool -> unit
 
-let create cfg = { cfg; cells = Hashtbl.create 64 }
+type t = {
+  cfg : St_config.t;
+  cells : (int * int, cell) Hashtbl.t;
+  on_adjust : adjust option;
+}
+
+let create ?on_adjust cfg = { cfg; cells = Hashtbl.create 64; on_adjust }
 
 let cell t ~op_id ~split =
   let key = (op_id, split) in
@@ -17,20 +24,35 @@ let cell t ~op_id ~split =
 
 let limit t ~op_id ~split = (cell t ~op_id ~split).limit
 
+(* The callback fires only when the limit actually moved: an adjustment
+   already clamped at [min_limit]/[max_limit] is not a decision. *)
+let notify t ~op_id ~split ~old_limit c ~grow =
+  if c.limit <> old_limit then
+    match t.on_adjust with
+    | Some f -> f ~op_id ~split ~old_limit ~limit:c.limit ~grow
+    | None -> ()
+
 let on_commit t ~op_id ~split =
   let c = cell t ~op_id ~split in
   c.consec <- (if c.consec > 0 then c.consec + 1 else 1);
   if c.consec >= t.cfg.St_config.consec_threshold then begin
+    let old_limit = c.limit in
     c.limit <- min t.cfg.St_config.max_limit (c.limit + 1);
-    c.consec <- 0
+    c.consec <- 0;
+    notify t ~op_id ~split ~old_limit c ~grow:true
   end
 
 let on_abort t ~op_id ~split =
   let c = cell t ~op_id ~split in
   c.consec <- (if c.consec < 0 then c.consec - 1 else -1);
   if -c.consec >= t.cfg.St_config.consec_threshold then begin
+    let old_limit = c.limit in
     c.limit <- max t.cfg.St_config.min_limit (c.limit - 1);
-    c.consec <- 0
+    c.consec <- 0;
+    notify t ~op_id ~split ~old_limit c ~grow:false
   end
 
 let segments_tracked t = Hashtbl.length t.cells
+
+let iter t f =
+  Hashtbl.iter (fun (op_id, split) c -> f ~op_id ~split ~limit:c.limit) t.cells

@@ -13,7 +13,17 @@
 
 type t
 
-val create : St_config.t -> t
+type adjust =
+  op_id:int -> split:int -> old_limit:int -> limit:int -> grow:bool -> unit
+(** Decision notification: a segment's limit moved from [old_limit] to
+    [limit], grown by [consec_threshold] consecutive commits or shrunk by
+    as many consecutive aborts.  Adjustments clamped at the limit bounds
+    (no movement) do not notify. *)
+
+val create : ?on_adjust:adjust -> St_config.t -> t
+(** [on_adjust] (default: none) observes every limit change — the abort
+    forensics ledger uses it to build the predictor decision timeline.
+    The callback must not consume cycles or draw RNG. *)
 
 val limit : t -> op_id:int -> split:int -> int
 (** Current length (in basic blocks) for this segment. *)
@@ -23,3 +33,7 @@ val on_abort : t -> op_id:int -> split:int -> unit
 
 val segments_tracked : t -> int
 (** Number of distinct (op, split) segments seen; for diagnostics. *)
+
+val iter : t -> (op_id:int -> split:int -> limit:int -> unit) -> unit
+(** Visit every tracked segment with its current limit, in unspecified
+    order (callers needing determinism must sort). *)

@@ -18,6 +18,9 @@ type t = {
   mutable stack_words : int;  (** Words compared during scans. *)
   mutable slow_reads : int;  (** SLOW_READ invocations. *)
   mutable slow_validation_failures : int;
+  mutable segments_tracked : int;
+      (** Distinct (op id, split index) segments across all predictors,
+          filled in at end of run (see {!Engine.segments_tracked}). *)
 }
 
 let create () =
@@ -34,6 +37,7 @@ let create () =
     stack_words = 0;
     slow_reads = 0;
     slow_validation_failures = 0;
+    segments_tracked = 0;
   }
 
 let avg_splits_per_op t =
@@ -52,4 +56,6 @@ let pp ppf t =
     "ops=%d (fast=%d slow=%d) segments=%d avg_splits/op=%.2f avg_len=%.2f \
      replays=%d scans=%d restarts=%d"
     t.ops t.fast_ops t.slow_ops t.segments (avg_splits_per_op t)
-    (avg_segment_length t) t.replays t.scans t.scan_restarts
+    (avg_segment_length t) t.replays t.scans t.scan_restarts;
+  if t.segments_tracked > 0 then
+    Format.fprintf ppf " tracked=%d" t.segments_tracked

@@ -22,6 +22,11 @@ type t = {
   mutable stack_words : int;  (** Words compared during scans. *)
   mutable slow_reads : int;  (** SLOW_READ invocations. *)
   mutable slow_validation_failures : int;
+  mutable segments_tracked : int;
+      (** Distinct (op id, split index) segments across the per-thread
+          split-length predictors; filled in at end of run from
+          [Engine.segments_tracked] (0 while the run is live, and for
+          non-StackTrack schemes). *)
 }
 
 val create : unit -> t

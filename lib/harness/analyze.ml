@@ -279,7 +279,7 @@ let report ppf doc =
             | _ -> "-"))
         rows
   | _ -> ());
-  match g [ "reclaim_lifecycle" ] with
+  (match g [ "reclaim_lifecycle" ] with
   | None -> ()
   | Some lc ->
       let m k = member k lc in
@@ -321,4 +321,80 @@ let report ppf doc =
           (istr (as_int (wd "max_backlog")))
           (match wd "ongoing" with
           | Some (Json_out.Bool true) -> ", ongoing at exit"
-          | _ -> "")
+          | _ -> ""));
+  match g [ "htm_forensics" ] with
+  | None -> ()
+  | Some fx ->
+      Format.fprintf ppf "@.abort forensics:@.";
+      Format.fprintf ppf
+        "  dooms: conflict=%s capacity=%s interrupt=%s@."
+        (istr (as_int (path_get fx [ "dooms"; "conflict" ])))
+        (istr (as_int (path_get fx [ "dooms"; "capacity" ])))
+        (istr (as_int (path_get fx [ "dooms"; "interrupt" ])));
+      Format.fprintf ppf
+        "  wasted cycles: conflict=%s capacity=%s interrupt=%s explicit=%s \
+         unresolved=%s total=%s@."
+        (istr (as_int (path_get fx [ "wasted"; "conflict" ])))
+        (istr (as_int (path_get fx [ "wasted"; "capacity" ])))
+        (istr (as_int (path_get fx [ "wasted"; "interrupt" ])))
+        (istr (as_int (path_get fx [ "wasted"; "explicit" ])))
+        (istr (as_int (path_get fx [ "wasted"; "unresolved" ])))
+        (istr (as_int (path_get fx [ "wasted"; "total" ])));
+      let take n l =
+        let rec go n = function
+          | x :: rest when n > 0 -> x :: go (n - 1) rest
+          | _ -> []
+        in
+        go n l
+      in
+      (match as_list (member "conflict_pairs" fx) with
+      | [] -> ()
+      | pairs ->
+          Format.fprintf ppf "  top doomed pairs (victim <- aborter):@.";
+          let sorted =
+            List.sort
+              (fun a b ->
+                compare
+                  (as_int (member "dooms" b))
+                  (as_int (member "dooms" a)))
+              pairs
+          in
+          List.iter
+            (fun p ->
+              Format.fprintf ppf "    tid%s <- tid%s  %s dooms@."
+                (istr (as_int (member "victim" p)))
+                (istr (as_int (member "aborter" p)))
+                (istr (as_int (member "dooms" p))))
+            (take 5 sorted));
+      (match as_list (member "segments" fx) with
+      | [] -> ()
+      | segs ->
+          Format.fprintf ppf "  hottest segments (op_id/split):@.";
+          List.iter
+            (fun s ->
+              Format.fprintf ppf
+                "    op%s/%s  aborts=%s chains=%s max_depth=%s@."
+                (istr (as_int (member "op_id" s)))
+                (istr (as_int (member "split" s)))
+                (istr (as_int (member "aborts" s)))
+                (istr (as_int (member "chains" s)))
+                (istr (as_int (member "max_depth" s))))
+            (take 5 segs));
+      (match as_int (path_get fx [ "retry_depths"; "summary"; "count" ]) with
+      | Some count when count > 0 ->
+          Format.fprintf ppf
+            "  retry depth: chains=%d p50=%s p95=%s max=%s@." count
+            (istr (as_int (path_get fx [ "retry_depths"; "summary"; "p50" ])))
+            (istr (as_int (path_get fx [ "retry_depths"; "summary"; "p95" ])))
+            (istr (as_int (path_get fx [ "retry_depths"; "summary"; "max" ])))
+      | _ -> ());
+      let pr k = path_get fx [ "predictor"; k ] in
+      (match as_int (pr "segments_tracked") with
+      | Some n when n > 0 ->
+          Format.fprintf ppf
+            "  predictor: %d segment(s) tracked, %d limit change(s)%s@." n
+            (List.length (as_list (pr "timeline")))
+            (match as_int (pr "timeline_dropped") with
+            | Some d when d > 0 -> Printf.sprintf " (%d dropped)" d
+            | _ -> "")
+      | _ -> ())

@@ -80,6 +80,14 @@ type config = {
           an extra sampler thread (one observation per scheduler quantum),
           so a flagged run is a {e different schedule} from an unflagged
           one — byte-identity is only promised for unflagged runs. *)
+  forensics : bool;
+      (** Enable the abort-forensics ledger: who-doomed-whom attribution,
+          per-cause wasted-cycle split, per-segment retry chains, and the
+          split-predictor decision timeline.  Implies the internal
+          cycle-attribution profiler (needed for the wasted split), but
+          [result.profile] stays [None] unless [profile] is also set.
+          Like [profile], pure arithmetic at existing sites: the
+          simulation result is identical with this on or off. *)
 }
 
 let default_config =
@@ -105,9 +113,41 @@ let default_config =
     trace = None;
     profile = false;
     lifecycle = false;
+    forensics = false;
   }
 
 type heat_row = { heat : Heatmap.row; owner : string option }
+
+type doomed_pair = { victim : int; aborter : int; dooms : int }
+
+type doomed_line_row = {
+  dl_line : int;
+  dl_dooms : int;
+  dl_owner : string option;  (** Live object owning the line, if any. *)
+}
+
+(* Everything [cfg.forensics] adds to a run, gathered so the JSON encoder
+   can emit (or omit) it as one tail section — the same shape as
+   [lifecycle_summary]. *)
+type forensics_summary = {
+  fx_conflict_dooms : int;
+  fx_capacity_dooms : int;
+  fx_interrupt_dooms : int;
+  fx_conflict_pairs : doomed_pair list;
+  fx_capacity_pairs : doomed_pair list;
+  fx_doomed_lines : doomed_line_row list;
+  fx_delivered : (string * int) list;  (** Delivered aborts per cause. *)
+  fx_wasted : (string * int) list;
+      (** Wasted cycles per cause, plus the [unresolved] residue. *)
+  fx_wasted_total : int;
+  fx_profile_wasted : int;  (** The profiler's independent wasted account. *)
+  fx_retry_hist : Latency.t;
+  fx_segments : Forensics.segment list;
+  fx_timeline : Forensics.decision list;
+  fx_timeline_dropped : int;
+  fx_segments_tracked : int;
+  fx_limits : Stacktrack.Engine.limit_row list;
+}
 
 (* Everything [cfg.lifecycle] adds to a run, gathered so the JSON encoder
    can emit (or omit) it as one tail section. *)
@@ -156,6 +196,12 @@ type result = {
       (** Top-N contention heatmap, hot lines annotated with the live
           object owning them; [Some] iff [cfg.profile]. *)
   lifecycle : lifecycle_summary option;  (** [Some] iff [cfg.lifecycle]. *)
+  forensics : forensics_summary option;  (** [Some] iff [cfg.forensics]. *)
+  conflict_lines : (int * int) list;
+      (** Per-cache-line conflict-doom counts from [Tsx.conflict_tally]
+          (always recorded), (line, dooms) sorted dooms-descending then
+          line-ascending.  Feeds the text report's doomed-by table; never
+          emitted to JSON, so artifacts are unchanged. *)
   extras : (string * int) list;
       (** Scheme-specific end-of-run counters (DEBRA+ neutralizations,
           Hazard Eras era clock...); [[]] for the classic schemes, so
@@ -290,8 +336,14 @@ let worker_loop ~sched ~duration ~ops_per_thread ~latency ~(mk : int -> 'th)
 
 let run cfg =
   let topo = Topology.create ~cores:cfg.cores ~smt:cfg.smt () in
-  let profile = Profile.create ~enabled:cfg.profile () in
+  (* Forensics needs the pending-transaction pot to split wasted cycles per
+     abort cause, so it turns the profiler's bookkeeping on internally;
+     [result.profile] stays gated on [cfg.profile] alone. *)
+  let profile = Profile.create ~enabled:(cfg.profile || cfg.forensics) () in
   let heatmap = Heatmap.create ~enabled:cfg.profile () in
+  let forensics =
+    if cfg.forensics then Forensics.create () else Forensics.disabled
+  in
   let sched =
     Sched.create ~topology:topo ~quantum:cfg.quantum ?trace:cfg.trace ~profile
       ~seed:cfg.seed ()
@@ -299,7 +351,8 @@ let run cfg =
   let shadow = Shadow.create () in
   let heap = Heap.create ~initial_words:(1 lsl 18) ~shadow () in
   let tsx =
-    Tsx.create ~cache:cfg.cache ~backend:cfg.backend ~heatmap ~sched ~heap ()
+    Tsx.create ~cache:cfg.cache ~backend:cfg.backend ~heatmap ~forensics ~sched
+      ~heap ()
   in
   let rt = Guard.make_runtime ~sched ~tsx in
   let setup_rng = Rng.create ~seed:(cfg.seed lxor 0x5EED) in
@@ -607,6 +660,121 @@ let run cfg =
         }
     end
   in
+  (* Final predictor diagnostics: cheap end-of-run table sums, recorded
+     unconditionally so the text report always shows them (the unflagged
+     JSON never reads the field). *)
+  (match inst.st_handle with
+  | Some e ->
+      (Stacktrack.Engine.scheme_stats e).Stacktrack.Scheme_stats
+        .segments_tracked <-
+        Stacktrack.Engine.segments_tracked e
+  | None -> ());
+  let forensics_summary =
+    if not cfg.forensics then None
+    else begin
+      (* Crashed-mid-transaction threads never deliver their abort: their
+         still-pending pots resolve to wasted at snapshot time, so sweep
+         them into the [unresolved] bucket before checking conservation. *)
+      for tid = 0 to Sched.n_threads sched - 1 do
+        let pot = Profile.pending_txn profile ~tid in
+        if pot > 0 then Forensics.on_unresolved forensics ~wasted:pot
+      done;
+      (* Two cross-checks, both fatal on divergence (an instrumentation
+         hole, not a property of the scheme under test): the who-doomed-whom
+         matrix against the Tsx per-line conflict tally (same stamp site),
+         and the per-cause wasted-cycle split against the profiler's
+         independent wasted account. *)
+      (match
+         Forensics.cross_check_tally forensics (Tsx.conflict_tally tsx)
+       with
+      | Some msg ->
+          failwith ("abort forensics diverged from conflict tally: " ^ msg)
+      | None -> ());
+      let snap =
+        Profile.snapshot profile
+          ~consumed:(Sched.consumed_by_thread sched)
+          ~makespan
+      in
+      let profile_wasted =
+        (Profile.totals snap).(Profile.account_index Profile.Wasted_txn)
+      in
+      let wasted_total = Forensics.wasted_total forensics in
+      if wasted_total <> profile_wasted then
+        failwith
+          (Printf.sprintf
+             "abort forensics conservation violated: per-cause wasted sums \
+              to %d, profiler wasted account is %d"
+             wasted_total profile_wasted);
+      let retry_hist = Latency.create () in
+      Forensics.iter_retry_depths forensics (fun ~depth n ->
+          for _ = 1 to n do
+            Latency.record retry_hist depth
+          done);
+      let pairs_of iter =
+        let acc = ref [] in
+        iter forensics (fun ~victim ~aborter dooms ->
+            acc := { victim; aborter; dooms } :: !acc);
+        List.rev !acc
+      in
+      let doomed_lines =
+        let acc = ref [] in
+        Forensics.iter_doomed_lines forensics (fun ~line dooms ->
+            acc :=
+              {
+                dl_line = line;
+                dl_dooms = dooms;
+                dl_owner = owner_of_line line;
+              }
+              :: !acc);
+        List.rev !acc
+      in
+      let causes =
+        [
+          Htm_stats.Conflict;
+          Htm_stats.Capacity;
+          Htm_stats.Interrupt;
+          Htm_stats.Explicit;
+        ]
+      in
+      let timeline = ref [] in
+      Forensics.iter_timeline forensics (fun d -> timeline := d :: !timeline);
+      Some
+        {
+          fx_conflict_dooms = Forensics.conflict_dooms forensics;
+          fx_capacity_dooms = Forensics.capacity_dooms forensics;
+          fx_interrupt_dooms = Forensics.interrupt_dooms forensics;
+          fx_conflict_pairs = pairs_of Forensics.iter_conflict_pairs;
+          fx_capacity_pairs = pairs_of Forensics.iter_capacity_pairs;
+          fx_doomed_lines = doomed_lines;
+          fx_delivered =
+            List.map
+              (fun c ->
+                (Htm_stats.reason_to_string c, Forensics.delivered forensics c))
+              causes;
+          fx_wasted =
+            List.map
+              (fun c ->
+                ( Htm_stats.reason_to_string c,
+                  Forensics.wasted_by_cause forensics c ))
+              causes
+            @ [ ("unresolved", Forensics.wasted_unresolved forensics) ];
+          fx_wasted_total = wasted_total;
+          fx_profile_wasted = profile_wasted;
+          fx_retry_hist = retry_hist;
+          fx_segments = Forensics.segments forensics;
+          fx_timeline = List.rev !timeline;
+          fx_timeline_dropped = Forensics.timeline_dropped forensics;
+          fx_segments_tracked =
+            (match inst.st_handle with
+            | Some e -> Stacktrack.Engine.segments_tracked e
+            | None -> 0);
+          fx_limits =
+            (match inst.st_handle with
+            | Some e -> Stacktrack.Engine.predictor_limits e
+            | None -> []);
+        }
+    end
+  in
   {
     cfg;
     total_ops;
@@ -631,5 +799,13 @@ let run cfg =
     profile = profile_snap;
     heatmap = heatmap_rows;
     lifecycle = lifecycle_summary;
+    forensics = forensics_summary;
+    conflict_lines =
+      List.sort
+        (fun (l1, n1) (l2, n2) ->
+          if n1 <> n2 then compare n2 n1 else compare l1 l2)
+        (Hashtbl.fold
+           (fun line n acc -> (line, n) :: acc)
+           (Tsx.conflict_tally tsx) []);
     extras = inst.extras ();
   }

@@ -69,6 +69,16 @@ type config = {
           an extra sampler thread (one observation per scheduler quantum),
           so a flagged run is a {e different schedule} from an unflagged
           one — byte-identity is only promised for unflagged runs. *)
+  forensics : bool;
+      (** Enable the abort-forensics ledger ({!St_htm.Forensics}):
+          who-doomed-whom attribution, per-cause wasted-cycle split,
+          per-segment retry chains, and the split-predictor decision
+          timeline.  Implies the internal cycle-attribution profiler
+          (the wasted split needs the pending-transaction pot), but
+          [result.profile] stays [None] unless [profile] is also set.
+          Like [profile] it is pure arithmetic at existing charge sites —
+          no RNG draws, no extra consumes, no extra threads — so the
+          simulation result is identical with this on or off. *)
 }
 
 val default_config : config
@@ -98,6 +108,54 @@ type lifecycle_summary = {
     (allocs, frees, live population, and the [allocs = frees + live]
     conservation law); a divergence raises [Failure] — it would mean an
     instrumentation hole, not a property of the scheme under test. *)
+
+type doomed_pair = { victim : int; aborter : int; dooms : int }
+(** One cell of the who-doomed-whom matrix: [aborter]'s accesses doomed
+    [victim]'s transactions [dooms] times. *)
+
+type doomed_line_row = {
+  dl_line : int;
+  dl_dooms : int;
+  dl_owner : string option;
+      (** Owning live object, ["obj#<birth>@<base>+<offset>"]; [None] when
+          the object was freed before the end of the run. *)
+}
+
+type forensics_summary = {
+  fx_conflict_dooms : int;
+  fx_capacity_dooms : int;
+  fx_interrupt_dooms : int;
+  fx_conflict_pairs : doomed_pair list;  (** Victim-major ascending. *)
+  fx_capacity_pairs : doomed_pair list;
+  fx_doomed_lines : doomed_line_row list;  (** Line ascending. *)
+  fx_delivered : (string * int) list;
+      (** Delivered aborts per cause (conflict/capacity/interrupt/explicit);
+          sums to the {!St_htm.Htm_stats} abort total. *)
+  fx_wasted : (string * int) list;
+      (** Wasted cycles per delivered cause, plus the [unresolved] residue
+          of threads that crashed mid-transaction. *)
+  fx_wasted_total : int;  (** Sum of [fx_wasted]. *)
+  fx_profile_wasted : int;
+      (** The profiler's independent wasted-transaction account; always
+          equals [fx_wasted_total] (checked at summary build, [Failure] on
+          divergence). *)
+  fx_retry_hist : Latency.t;
+      (** Committed-chain retry depths (0 = first-try commits). *)
+  fx_segments : St_htm.Forensics.segment list;
+      (** Per-(op id, split) abort counts and retry-depth aggregates,
+          aborts descending. *)
+  fx_timeline : St_htm.Forensics.decision list;
+      (** Every predictor limit change, in decision order. *)
+  fx_timeline_dropped : int;
+  fx_segments_tracked : int;  (** 0 for non-StackTrack schemes. *)
+  fx_limits : Stacktrack.Engine.limit_row list;
+      (** Final per-segment limit table; [[]] for non-StackTrack schemes. *)
+}
+(** Everything [cfg.forensics] adds to a run.  Before this summary is
+    built, the who-doomed-whom matrix is cross-checked against
+    [Tsx.conflict_tally] (same stamp site) and the per-cause wasted-cycle
+    split against the profiler's wasted account; a divergence raises
+    [Failure]. *)
 
 type result = {
   cfg : config;
@@ -129,6 +187,13 @@ type result = {
   heatmap : heat_row list option;
       (** Top-N contention heatmap; [Some] iff [cfg.profile]. *)
   lifecycle : lifecycle_summary option;  (** [Some] iff [cfg.lifecycle]. *)
+  forensics : forensics_summary option;  (** [Some] iff [cfg.forensics]. *)
+  conflict_lines : (int * int) list;
+      (** Per-cache-line conflict-doom counts from
+          [St_htm.Tsx.conflict_tally] (always recorded), (line, dooms)
+          sorted dooms-descending then line-ascending.  Feeds the text
+          report's doomed-by table; never emitted to JSON, so unflagged
+          artifacts are unchanged. *)
   extras : (string * int) list;
       (** Scheme-specific end-of-run counters — DEBRA+ reports
           [neutralizations]/[recoveries], Hazard Eras its final [era];

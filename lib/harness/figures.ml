@@ -252,12 +252,12 @@ let fig3_aborts ?(verbose = false) ?(jobs = 1) ~speed () =
 (* Figure 4: average splits per operation and split lengths (list)     *)
 (* ------------------------------------------------------------------ *)
 
-let fig4_splits ?(verbose = false) ?(jobs = 1) ~speed () =
+let fig4_splits ?(verbose = false) ?(jobs = 1) ?(forensics = false) ~speed () =
   (* Longer runs: the +-1-per-5-consecutive predictor (§5.3) converges
      slowly ("able to achieve a good performance after 2 seconds"), so the
      length trend needs volume. *)
   let base = list_config speed in
-  let base = { base with duration = base.duration * 3 } in
+  let base = { base with duration = base.duration * 3; forensics } in
   let threads = thread_points speed in
   let results =
     run_many ~jobs
@@ -286,6 +286,27 @@ let fig4_splits ?(verbose = false) ?(jobs = 1) ~speed () =
   Report.csv ~name:"fig4_splits" ~x_label:"threads"
     ~columns:[ "splits_per_op"; "split_len" ]
     rows;
+  if forensics then
+    List.iter2
+      (fun t (r : Experiment.result) ->
+        match r.forensics with
+        | None -> ()
+        | Some fx ->
+            let limits =
+              List.map
+                (fun (l : Stacktrack.Engine.limit_row) ->
+                  l.Stacktrack.Engine.l_limit)
+                fx.fx_limits
+            in
+            let lo = List.fold_left min max_int limits
+            and hi = List.fold_left max 0 limits in
+            Report.note
+              "forensics t=%d: %d segment(s) tracked, %d limit change(s), \
+               final limits %s"
+              t fx.fx_segments_tracked
+              (List.length fx.fx_timeline)
+              (if limits = [] then "-" else Printf.sprintf "%d..%d" lo hi))
+      threads results;
   rows
 
 (* ------------------------------------------------------------------ *)

@@ -65,7 +65,11 @@ val fig3_aborts :
   ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
 
 val fig4_splits :
-  ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list
+  ?verbose:bool -> ?jobs:int -> ?forensics:bool -> speed:speed -> unit ->
+  (int * float list) list
+(** With [forensics], each sweep point runs with the abort-forensics
+    ledger on and appends a per-thread-count note (segments tracked,
+    predictor limit changes, final limit range) under the table. *)
 
 val fig5_slowpath :
   ?verbose:bool -> ?jobs:int -> speed:speed -> unit -> (int * float list) list

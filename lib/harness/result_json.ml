@@ -220,6 +220,106 @@ let of_lifecycle (lc : Experiment.lifecycle_summary) =
       ("watchdog", of_watchdog lc.watchdog);
     ]
 
+let of_doomed_pair (p : Experiment.doomed_pair) =
+  Json_out.Obj
+    [
+      ("victim", Json_out.Int p.victim);
+      ("aborter", Json_out.Int p.aborter);
+      ("dooms", Json_out.Int p.dooms);
+    ]
+
+let of_doomed_line (l : Experiment.doomed_line_row) =
+  Json_out.Obj
+    [
+      ("line", Json_out.Int l.dl_line);
+      ("dooms", Json_out.Int l.dl_dooms);
+      ( "owner",
+        match l.dl_owner with
+        | Some s -> Json_out.String s
+        | None -> Json_out.Null );
+    ]
+
+let of_fx_segment (s : Forensics.segment) =
+  Json_out.Obj
+    [
+      ("op_id", Json_out.Int s.Forensics.op_id);
+      ("split", Json_out.Int s.Forensics.split);
+      ("aborts", Json_out.Int s.Forensics.aborts);
+      ("chains", Json_out.Int s.Forensics.chains);
+      ( "mean_depth",
+        Json_out.Float
+          (if s.Forensics.chains = 0 then 0.
+           else
+             float_of_int s.Forensics.depth_sum
+             /. float_of_int s.Forensics.chains) );
+      ("max_depth", Json_out.Int s.Forensics.depth_max);
+    ]
+
+let of_fx_decision (d : Forensics.decision) =
+  Json_out.Obj
+    [
+      ("time", Json_out.Int d.Forensics.d_time);
+      ("tid", Json_out.Int d.Forensics.d_tid);
+      ("op_id", Json_out.Int d.Forensics.d_op_id);
+      ("split", Json_out.Int d.Forensics.d_split);
+      ("from", Json_out.Int d.Forensics.d_old_limit);
+      ("to", Json_out.Int d.Forensics.d_limit);
+      ("grow", Json_out.Bool d.Forensics.d_grow);
+    ]
+
+let of_limit_row (l : Stacktrack.Engine.limit_row) =
+  Json_out.Obj
+    [
+      ("tid", Json_out.Int l.Stacktrack.Engine.l_tid);
+      ("op_id", Json_out.Int l.Stacktrack.Engine.l_op_id);
+      ("split", Json_out.Int l.Stacktrack.Engine.l_split);
+      ("limit", Json_out.Int l.Stacktrack.Engine.l_limit);
+    ]
+
+let of_forensics (fx : Experiment.forensics_summary) =
+  let ints kvs = List.map (fun (k, v) -> (k, Json_out.Int v)) kvs in
+  Json_out.Obj
+    [
+      ( "dooms",
+        Json_out.Obj
+          (ints
+             [
+               ("conflict", fx.fx_conflict_dooms);
+               ("capacity", fx.fx_capacity_dooms);
+               ("interrupt", fx.fx_interrupt_dooms);
+             ]) );
+      ( "conflict_pairs",
+        Json_out.List (List.map of_doomed_pair fx.fx_conflict_pairs) );
+      ( "capacity_pairs",
+        Json_out.List (List.map of_doomed_pair fx.fx_capacity_pairs) );
+      ("doomed_lines", Json_out.List (List.map of_doomed_line fx.fx_doomed_lines));
+      ("delivered", Json_out.Obj (ints fx.fx_delivered));
+      ( "wasted",
+        Json_out.Obj
+          (ints
+             (fx.fx_wasted
+             @ [
+                 ("total", fx.fx_wasted_total);
+                 ("profile_wasted", fx.fx_profile_wasted);
+               ])) );
+      ( "retry_depths",
+        Json_out.Obj
+          [
+            ("summary", of_latency fx.fx_retry_hist);
+            ("hist", of_latency_hist fx.fx_retry_hist);
+          ] );
+      ("segments", Json_out.List (List.map of_fx_segment fx.fx_segments));
+      ( "predictor",
+        Json_out.Obj
+          [
+            ("segments_tracked", Json_out.Int fx.fx_segments_tracked);
+            ("timeline_dropped", Json_out.Int fx.fx_timeline_dropped);
+            ("timeline", Json_out.List (List.map of_fx_decision fx.fx_timeline));
+            ( "final_limits",
+              Json_out.List (List.map of_limit_row fx.fx_limits) );
+          ] );
+    ]
+
 (* New sections are appended at the end and only when their feature is
    enabled, so artifacts from runs without --trace/--profile stay
    byte-identical to the pre-profiler goldens. *)
@@ -240,6 +340,9 @@ let encode (r : Experiment.result) =
       | None -> [])
     @ (match r.lifecycle with
       | Some lc -> [ ("reclaim_lifecycle", of_lifecycle lc) ]
+      | None -> [])
+    @ (match r.forensics with
+      | Some fx -> [ ("htm_forensics", of_forensics fx) ]
       | None -> [])
     @
     (* Only the modern schemes (DEBRA+, Hazard Eras) report extras, so

@@ -120,10 +120,12 @@ type t = {
      contention storms. *)
   tally : (int, int) Hashtbl.t;
   heatmap : Heatmap.t;
+  forensics : Forensics.t;
 }
 
 let create ?(cache = Cache.create ()) ?(backend = Htm)
-    ?(heatmap = Heatmap.create ()) ~sched ~heap () =
+    ?(heatmap = Heatmap.create ()) ?(forensics = Forensics.disabled) ~sched
+    ~heap () =
   let t =
     {
       sched;
@@ -131,6 +133,7 @@ let create ?(cache = Cache.create ()) ?(backend = Htm)
       cache;
       backend;
       heatmap;
+      forensics;
       txns = Array.make max_threads None;
       pool = Array.make max_threads None;
       line_versions = Hashtbl.create 4096;
@@ -166,6 +169,7 @@ let create ?(cache = Cache.create ()) ?(backend = Htm)
         match t.txns.(tid) with
         | Some txn ->
             txn.doomed <- doomed_interrupt;
+            Forensics.on_interrupt_doom t.forensics ~victim:tid;
             let tr = Sched.trace sched in
             if Trace.on tr then
               Trace.instant tr ~time:(Sched.now sched) ~tid Trace.Htm "doom"
@@ -179,6 +183,7 @@ let cache t = t.cache
 let stats t ~tid = t.stats.(tid)
 let conflict_tally t = t.tally
 let heatmap t = t.heatmap
+let forensics t = t.forensics
 let profile t = Sched.profile t.sched
 
 let total_stats t =
@@ -298,8 +303,14 @@ let do_abort t txn reason =
           (Htm_stats.reason_to_string reason)
           (Vec.length txn.lines));
   (* The abort-handling latency itself is wasted work: charge it while the
-     profiler still considers the transaction open, then resolve. *)
+     profiler still considers the transaction open, then resolve.  The
+     forensics stamp reads the pending pot after that charge, so the
+     per-cause wasted buckets include the abort latency and sum exactly to
+     the profiler's wasted account. *)
   Sched.consume t.sched (costs t).htm_abort;
+  if Forensics.enabled t.forensics then
+    Forensics.on_abort_delivered t.forensics ~tid:txn.owner ~cause:reason
+      ~wasted:(Profile.pending_txn (profile t) ~tid:txn.owner);
   Profile.txn_abort (profile t) ~tid:txn.owner;
   raise (Abort reason)
 
@@ -330,6 +341,8 @@ let doom_from t ~me ~line flat =
            | Some txn when txn.doomed = None ->
                txn.doomed <- doomed_conflict;
                Heatmap.conflict t.heatmap line;
+               Forensics.on_conflict_doom t.forensics ~victim:!other
+                 ~aborter:me ~line;
                let n =
                  match Hashtbl.find t.tally line with
                  | n -> n
@@ -376,6 +389,7 @@ let consider_evict t ~me txn denom total_lines =
     let fp = footprint txn in
     if fp > 0 && Rng.int t.evict_rng (total_lines * denom) < fp then begin
       txn.doomed <- doomed_capacity;
+      Forensics.on_capacity_doom t.forensics ~victim:txn.owner ~aborter:me;
       let tr = trace t in
       if Trace.on tr then
         Trace.instant tr ~time:(Sched.now t.sched) ~tid:txn.owner Trace.Cache
@@ -468,6 +482,10 @@ let track_note_read t txn line =
         let occ = txn.set_occ.(set) + 1 in
         if occ > effective_ways t then begin
           Heatmap.capacity t.heatmap line;
+          (* Associativity overflow is self-inflicted: the transaction's own
+             footprint no longer fits the set. *)
+          Forensics.on_capacity_doom t.forensics ~victim:txn.owner
+            ~aborter:txn.owner;
           do_abort t txn Htm_stats.Capacity
         end;
         txn.set_occ.(set) <- occ
@@ -492,6 +510,10 @@ let track_note_write t txn line =
         let occ = txn.set_occ.(set) + 1 in
         if occ > effective_ways t then begin
           Heatmap.capacity t.heatmap line;
+          (* Associativity overflow is self-inflicted: the transaction's own
+             footprint no longer fits the set. *)
+          Forensics.on_capacity_doom t.forensics ~victim:txn.owner
+            ~aborter:txn.owner;
           do_abort t txn Htm_stats.Capacity
         end;
         txn.set_occ.(set) <- occ

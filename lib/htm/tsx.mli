@@ -43,6 +43,7 @@ val create :
   ?cache:Cache.t ->
   ?backend:backend ->
   ?heatmap:Heatmap.t ->
+  ?forensics:Forensics.t ->
   sched:St_sim.Sched.t ->
   heap:St_mem.Heap.t ->
   unit ->
@@ -50,7 +51,9 @@ val create :
 (** Creates the HTM manager and registers its preemption hook with the
     scheduler.  [n_threads] contexts are lazily sized from the scheduler.
     [heatmap] (default: disabled) receives per-line touch/conflict/capacity
-    tallies from every memory access. *)
+    tallies from every memory access.  [forensics] (default: the disabled
+    singleton) is stamped at every doom site (who-doomed-whom attribution)
+    and in the abort delivery funnel (per-cause wasted-cycle split). *)
 
 val heap : t -> St_mem.Heap.t
 val sched : t -> St_sim.Sched.t
@@ -118,6 +121,11 @@ val conflict_tally : t -> (int, int) Hashtbl.t
 
 val heatmap : t -> Heatmap.t
 (** The contention heatmap this manager records into. *)
+
+val forensics : t -> Forensics.t
+(** The abort-forensics ledger this manager stamps.  The engine layers
+    above use it to attach segment identity and predictor decisions to the
+    same ledger. *)
 
 val stats : t -> tid:int -> Htm_stats.t
 val total_stats : t -> Htm_stats.t

@@ -135,6 +135,8 @@ let pop_mode t ~tid =
     let l = t.ledgers.(tid) in
     match l.mode with [] -> () | _ :: rest -> l.mode <- rest
 
+let pending_txn t ~tid = if t.enabled then t.ledgers.(tid).pending_txn else 0
+
 let wasted_cycles t ~n_threads =
   if not t.enabled then 0
   else begin

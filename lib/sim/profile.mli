@@ -79,6 +79,13 @@ val wasted_cycles : t -> n_threads:int -> int
 (** Current total of {!Wasted_txn} over threads [0..n_threads-1]; cheap
     enough for the metrics sampler. *)
 
+val pending_txn : t -> tid:int -> int
+(** Cycles charged to [tid]'s still-open transaction, not yet resolved to
+    committed or wasted; 0 when disabled or no transaction is open.  Read
+    by the abort-forensics ledger at delivery to split the wasted account
+    per abort cause, and by the end-of-run sweep to account for threads
+    that crashed mid-transaction. *)
+
 (** {1 Snapshots} *)
 
 type thread_snapshot = {
