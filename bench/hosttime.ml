@@ -14,9 +14,12 @@
                                      [target ...]
 
    Targets (default fig1-list): fig1-list fig1-skiplist fig2-queue fig2-hash
-   fig5-slowpath scan-list all — one experiment at [--threads].  [scan-list]
-   is the fig1 list config with [max_free = 1], making reclamation scans
-   (not per-access instrumentation) the dominant cost.
+   fig5-slowpath scan-list scale-list all — one experiment at [--threads].
+   [scan-list] is the fig1 list config with [max_free = 1], making
+   reclamation scans (not per-access instrumentation) the dominant cost.
+   [scale-list] is the largest fig-scale point (a hash table raw-populated
+   to 10^6 live objects at a fixed short duration), timing the chunked
+   heap and line tables at scale.
 
    Sweep targets time the *whole figure sweep* (every thread point x every
    scheme column of the figure, Full thread grid at [--duration]) through
@@ -126,6 +129,24 @@ let base_config target =
           scheme =
             Stacktrack_s
               { Stacktrack.St_config.default with forced_slow_pct = 50 };
+        }
+  | "scale-list" ->
+      (* Million-object slice: the hash structure raw-populated to the
+         largest fig-scale point, then the usual mutation mix on top.
+         Times the chunked-heap allocation/claim/free paths and the
+         chunked line tables at a touched address space ~3 orders of
+         magnitude beyond fig1-list; population cost (one claim per
+         object) is part of the measurement.  [duration] is fixed rather
+         than [--duration]: host time here should scale with the object
+         count, not the figure-length virtual run. *)
+      Some
+        {
+          base with
+          structure = Hash_s;
+          key_range = 2_000_000;
+          init_size = 1_000_000;
+          n_buckets = 250_000;
+          duration = 150_000;
         }
   | "scan-list" ->
       (* Scan-heavy slice: with [max_free = 1] every retirement triggers a

@@ -7,7 +7,7 @@
    Targets (default: all)
      fig1-list fig1-skiplist fig2-queue fig2-hash fig3-aborts fig4-splits
      fig5-slowpath scan-behavior ablations crash robustness latency memory stm
-     micro all
+     fig-scale micro all
 
    --jobs N runs the sweep points of each figure on a pool of N domains
    (default 1 = sequential; 0 = Domain.recommended_domain_count).  Reports
@@ -202,6 +202,8 @@ let () =
       @ List.map snd
           (Figures.memory_profile ~verbose ~jobs ~profile ~lifecycle ~speed ());
   if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ());
+  if want "fig-scale" then
+    collect_rows (Figures.fig_scale ~verbose ~jobs ~speed ());
   if want "micro" then run_micro ();
   (match !json_out with
   | Some file ->

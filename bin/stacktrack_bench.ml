@@ -422,7 +422,7 @@ let figures_cmd =
           ~doc:
             "Figures to reproduce: fig1-list fig1-skiplist fig2-queue \
              fig2-hash fig3-aborts fig4-splits fig5-slowpath scan-behavior \
-             ablations crash robustness latency memory stm all.")
+             ablations crash robustness latency memory stm fig-scale all.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Coarser sweeps, shorter runs.")
@@ -493,7 +493,8 @@ let figures_cmd =
     if want "latency" then ignore (Figures.latency_profile ~verbose ~jobs ~speed ());
     if want "memory" then
       ignore (Figures.memory_profile ~verbose ~jobs ~lifecycle ~speed ());
-    if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ())
+    if want "stm" then ignore (Figures.stm_vs_htm ~verbose ~jobs ~speed ());
+    if want "fig-scale" then ignore (Figures.fig_scale ~verbose ~jobs ~speed ())
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's figures.")

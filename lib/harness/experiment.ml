@@ -206,6 +206,13 @@ type result = {
       (** Scheme-specific end-of-run counters (DEBRA+ neutralizations,
           Hazard Eras era clock...); [[]] for the classic schemes, so
           their JSON output is unchanged. *)
+  resident_words : int;
+      (** Words of heap backing store at end of run ({!Heap.resident_words}:
+          touched chunks x chunk size across the four per-address tables).
+          Never emitted to JSON; the scale figure reports it. *)
+  line_table_words : int;
+      (** Words held by the HTM layer's chunked per-line tables
+          ({!Tsx.line_table_words}); never emitted to JSON. *)
 }
 
 let throughput_of ~ops ~makespan =
@@ -808,4 +815,6 @@ let run cfg =
            (fun line n acc -> (line, n) :: acc)
            (Tsx.conflict_tally tsx) []);
     extras = inst.extras ();
+    resident_words = Heap.resident_words heap;
+    line_table_words = Tsx.line_table_words tsx;
   }

@@ -199,6 +199,14 @@ type result = {
           [neutralizations]/[recoveries], Hazard Eras its final [era];
           [[]] for the classic schemes, so their JSON output (and the
           committed goldens) are unchanged. *)
+  resident_words : int;
+      (** Words of heap backing store at end of run
+          ({!St_mem.Heap.resident_words}: touched chunks x chunk size
+          across the four per-address tables).  Never emitted to JSON; the
+          scale figure reports it as the memory-proportionality proof. *)
+  line_table_words : int;
+      (** Words held by the HTM layer's chunked per-line coherence/conflict
+          tables ({!St_htm.Tsx.line_table_words}); never emitted to JSON. *)
 }
 
 val throughput_of : ops:int -> makespan:int -> float

@@ -863,3 +863,113 @@ let robustness ?(verbose = false) ?(jobs = 1) ~speed () =
             extras)
     per_scheme;
   per_scheme
+
+(* ------------------------------------------------------------------ *)
+(* Scale: million-object memory-proportionality proof                  *)
+(* ------------------------------------------------------------------ *)
+
+let scale_points = function
+  | Quick -> [ 10_000; 50_000 ]
+  | Full -> [ 10_000; 100_000; 1_000_000 ]
+
+let scale_schemes = [ Epoch; Hazards; Debra; stacktrack_default ]
+
+let scale_config ~live =
+  {
+    default_config with
+    structure = Hash_s;
+    key_range = live * 2;
+    init_size = live;
+    n_buckets = max 256 (live / 4);
+    mutation_pct = 20;
+    threads = 8;
+    duration = 150_000;
+    lifecycle = true;
+  }
+
+(* The scale sweep ramps the live-object count rather than the thread
+   count: the structure is raw-populated to [live] keys, then a fixed
+   simulated duration runs on top.  The interesting columns are therefore
+   not throughput curves but footprint — the chunked heap's resident
+   backing store should track the touched address space (about four
+   payload words per object plus table granularity), where the old dense
+   arrays held a doubled capacity in four parallel copies.  Host
+   wall-clock per point is printed to stderr (it is machine-dependent;
+   stdout must stay byte-identical across runs and [--jobs] values — CI
+   diffs it). *)
+let fig_scale ?(verbose = false) ?(jobs = 1) ~speed () =
+  let points = scale_points speed in
+  let schemes = scale_schemes in
+  let cfgs =
+    List.concat_map
+      (fun live ->
+        List.map (fun scheme -> { (scale_config ~live) with scheme }) schemes)
+      points
+  in
+  let timed =
+    Pool.run ~jobs
+      (List.map
+         (fun cfg () ->
+           let t0 = Unix.gettimeofday () in
+           let r = Experiment.run cfg in
+           (r, (Unix.gettimeofday () -. t0) *. 1000.))
+         cfgs)
+  in
+  let rows = List.combine points (chunks (List.length schemes) timed) in
+  List.iter
+    (fun (live, rs) ->
+      List.iter2
+        (fun scheme ((r : Experiment.result), ms) ->
+          if verbose then Report.run_line r;
+          assert (r.violations = 0);
+          Format.eprintf "fig-scale: %-12s live=%-8d host=%8.1f ms@."
+            (scheme_name scheme) live ms)
+        schemes rs)
+    rows;
+  let columns = List.map scheme_name schemes in
+  Report.header ~title:"Scale -- throughput vs live objects (hash)"
+    ~subtitle:
+      "raw-populated to N live objects, 20% mutations, 8 threads; ops per \
+       Mcycle";
+  let tput =
+    List.map
+      (fun (live, rs) ->
+        (live, List.map (fun ((r : Experiment.result), _) -> r.throughput) rs))
+      rows
+  in
+  Report.series ~x_label:"live" ~columns tput;
+  Report.csv ~name:"scale_throughput" ~x_label:"live" ~columns tput;
+  Report.header ~title:"Scale -- resident heap footprint (Kwords)"
+    ~subtitle:
+      "backing store of the chunked per-address tables at end of run; grows \
+       with touched chunks, not allocator doubling";
+  let resident =
+    List.map
+      (fun (live, rs) ->
+        ( live,
+          List.map
+            (fun ((r : Experiment.result), _) ->
+              float_of_int r.resident_words /. 1024.)
+            rs ))
+      rows
+  in
+  Report.series ~x_label:"live" ~columns resident;
+  Report.csv ~name:"scale_resident" ~x_label:"live" ~columns resident;
+  (match List.rev rows with
+  | [] -> ()
+  | (live, rs) :: _ ->
+      List.iter2
+        (fun scheme ((r : Experiment.result), _) ->
+          match r.lifecycle with
+          | None -> ()
+          | Some lc ->
+              Report.note
+                "%-12s @%d live: resident=%dK words, line tables=%dK | peak \
+                 live=%d objs | limbo peak=%d objs/%d words, end=%d"
+                (scheme_name scheme) live
+                (r.resident_words / 1024)
+                (r.line_table_words / 1024)
+                r.peak_live lc.peak_limbo_objects lc.peak_limbo_words
+                lc.limbo_at_end)
+        schemes rs);
+  List.map (fun (live, rs) -> (live, List.map fst rs)) rows

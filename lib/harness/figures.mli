@@ -116,3 +116,19 @@ val robustness :
     Epoch and DEBRA stagnate (unbounded backlog, ongoing incident),
     DEBRA+ recovers via neutralization, Hazard Eras and StackTrack stay
     bounded. *)
+
+val scale_points : speed -> int list
+(** Live-object counts of the scale ramp (up to 10^6 in Full). *)
+
+val scale_schemes : Experiment.scheme_kind list
+(** Epoch, Hazards, DEBRA, StackTrack — the scale-sweep columns. *)
+
+val fig_scale :
+  ?verbose:bool -> ?jobs:int -> speed:speed -> unit ->
+  (int * Experiment.result list) list
+(** Memory-proportionality proof: raw-populates a hash table to 10^4 →
+    10^6+ live objects per scheme (lifecycle ledger on) and prints
+    throughput plus the resident backing-store footprint of the chunked
+    heap and line tables, with a per-scheme limbo note at the largest
+    point.  Host wall-clock per point goes to stderr so stdout stays
+    byte-identical across runs and [--jobs] values. *)

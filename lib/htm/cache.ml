@@ -8,16 +8,20 @@ type t = {
   sibling_evict_denom : int;
   self_evict_denom : int;
   total_lines : int; (* sets * ways, read on every pressure-evict draw *)
+  set_mask : int; (* sets - 1; sets is a power of two, so [land] maps lines *)
 }
 
 let create ?(line_shift = 2) ?(sets = 64) ?(ways = 8) ?(reserved_ways = 2)
     ?(sibling_evict_denom = 48) ?(self_evict_denom = 1200) () =
   assert (sets > 0 && ways > 0 && line_shift >= 0);
+  (* Real set-indexed caches have power-of-two set counts; requiring it here
+     turns the per-access [mod] in [set_of] into a mask. *)
+  assert (sets land (sets - 1) = 0);
   assert (reserved_ways >= 0 && reserved_ways < ways);
   assert (sibling_evict_denom > 0 && self_evict_denom > 0);
   { line_shift; sets; ways; reserved_ways; sibling_evict_denom;
-    self_evict_denom; total_lines = sets * ways }
+    self_evict_denom; total_lines = sets * ways; set_mask = sets - 1 }
 
 let line_of t (addr : Word.addr) = addr lsr t.line_shift
-let set_of t line = line mod t.sets
+let set_of t line = line land t.set_mask
 let lines t = t.total_lines

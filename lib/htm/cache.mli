@@ -33,6 +33,10 @@ type t = private {
           source of the baseline capacity-abort level at 1-4 threads. *)
   total_lines : int;
       (** Precomputed [sets * ways]; read on every cache-pressure draw. *)
+  set_mask : int;
+      (** Precomputed [sets - 1].  [create] asserts [sets] is a power of
+          two, so {!set_of} is a single [land] instead of a [mod] on every
+          line mapping. *)
 }
 
 val create :

@@ -46,6 +46,11 @@ let max_threads = 256
 let bits_per_word = Sys.int_size
 let bitset_words = (max_threads + bits_per_word - 1) / bits_per_word
 
+(* Chunk geometry of the line tables (state + two conflict bitsets). *)
+let lines_per_chunk_shift = 12
+let lines_per_chunk = 1 lsl lines_per_chunk_shift
+let line_ix_mask = lines_per_chunk - 1
+
 type t = {
   sched : Sched.t;
   heap : Heap.t;
@@ -65,19 +70,34 @@ type t = {
      line, or a write to a line anyone else touched last, pays the
      coherence-miss latency.  Heap addresses are dense and small (they
      start at [Word.heap_base = 0x1000] and are recycled through free
-     lists), so the table is a flat array indexed by line — consulted on
-     every memory access, where it replaces a hash lookup with a load. *)
-  mutable line_state : int array; (* line -> owner tid * 2 + dirty, -1 *)
+     lists), so the table is indexed directly by line — consulted on every
+     memory access, where it replaces a hash lookup with a load.  Like the
+     heap's backing store, the three line tables are chunk directories
+     ([lines_per_chunk] lines per chunk, allocated on first touch), so
+     their size tracks the touched address space instead of doubling dense
+     arrays sized by the heap break. *)
+  mutable line_state : int array array; (* line -> owner tid * 2 + dirty, -1 *)
   (* Conflict index: for each line with speculative state, the set of
      threads whose *active* transaction holds it in its read (resp. write)
-     set, as flat bitset arrays of [bitset_words] words per line (all-zero
-     = no holder).  Maintained when a transaction first touches a line and
+     set, as bitset chunks of [bitset_words] words per line (all-zero = no
+     holder).  Maintained when a transaction first touches a line and
      cleared when it commits or aborts, so [doom_conflicting] visits only
      the transactions actually on the conflicting line instead of sweeping
      all [max_threads] slots on every memory access. *)
-  mutable line_readers : int array;
-  mutable line_writers : int array;
-  mutable lines_cap : int; (* lines covered by the three flat tables *)
+  mutable line_readers : int array array;
+  mutable line_writers : int array array;
+  mutable line_chunks : int; (* chunks currently backed, for footprint *)
+  (* Last coherence verdict, so a run of same-line accesses by one thread
+     pays one table lookup instead of N: [coh_st] is the post-state this
+     manager last stored (or left) in [line_state] for [coh_line], valid
+     because [coherence_cost] is the only writer of [line_state] — any
+     interleaved access (any thread, any line) refreshes the three fields,
+     so a stale hit is impossible.  The charged cycles are unchanged; only
+     redundant lookups and zero-cost [Profile.note_coherence] calls are
+     elided. *)
+  mutable coh_tid : int;
+  mutable coh_line : int;
+  mutable coh_st : int;
   (* Precomputed word index / bit mask per tid for the flat bitsets: the
      word size is 63 bits, so computing them inline would cost two integer
      divisions on every access (ocamlopt does not strength-reduce division
@@ -140,10 +160,13 @@ let create ?(cache = Cache.create ()) ?(backend = Htm)
       stm_clock = 0;
       stats = Array.init max_threads (fun _ -> Htm_stats.create ());
       evict_rng = Rng.split (Sched.rng sched);
-      line_state = Array.make 4096 (-1);
-      line_readers = Array.make (4096 * bitset_words) 0;
-      line_writers = Array.make (4096 * bitset_words) 0;
-      lines_cap = 4096;
+      line_state = Array.make 4 [||];
+      line_readers = Array.make 4 [||];
+      line_writers = Array.make 4 [||];
+      line_chunks = 0;
+      coh_tid = -1;
+      coh_line = -1;
+      coh_st = -1;
       tid_word = Array.init max_threads (fun tid -> tid / bits_per_word);
       tid_mask = Array.init max_threads (fun tid -> 1 lsl (tid mod bits_per_word));
       nw = 1;
@@ -206,29 +229,48 @@ let footprint txn = Vec.length txn.lines
 
 let data_set_lines t = match my_txn t with Some x -> footprint x | None -> 0
 
-(* ---- Flat per-line tables ---------------------------------------- *)
+(* ---- Chunked per-line tables -------------------------------------- *)
 
-(* Grow the three line-indexed tables to cover [line].  Called once per
-   access with the line about to be touched; growth itself is rare (the
-   address space is bounded by the live heap, which recycles). *)
+(* Back the chunk holding [line] in the three line-indexed tables.  Called
+   once per access with the line about to be touched; chunk allocation
+   itself is rare (the address space is bounded by the live heap, which
+   recycles) and never copies existing chunk data — only the small
+   directory of chunk pointers ever doubles. *)
 let ensure_lines t line =
-  if line >= t.lines_cap then begin
-    let cap = ref t.lines_cap in
-    while line >= !cap do
+  let c = line lsr lines_per_chunk_shift in
+  if c >= Array.length t.line_state then begin
+    let cap = ref (Array.length t.line_state) in
+    while c >= !cap do
       cap := !cap * 2
     done;
-    let cap' = !cap in
-    let ls = Array.make cap' (-1) in
-    Array.blit t.line_state 0 ls 0 t.lines_cap;
-    let lr = Array.make (cap' * bitset_words) 0 in
-    Array.blit t.line_readers 0 lr 0 (t.lines_cap * bitset_words);
-    let lw = Array.make (cap' * bitset_words) 0 in
-    Array.blit t.line_writers 0 lw 0 (t.lines_cap * bitset_words);
-    t.line_state <- ls;
-    t.line_readers <- lr;
-    t.line_writers <- lw;
-    t.lines_cap <- cap'
+    let grow d =
+      let d' = Array.make !cap [||] in
+      Array.blit d 0 d' 0 (Array.length d);
+      d'
+    in
+    t.line_state <- grow t.line_state;
+    t.line_readers <- grow t.line_readers;
+    t.line_writers <- grow t.line_writers
+  end;
+  if Array.length (Array.unsafe_get t.line_state c) = 0 then begin
+    t.line_state.(c) <- Array.make lines_per_chunk (-1);
+    t.line_readers.(c) <- Array.make (lines_per_chunk * bitset_words) 0;
+    t.line_writers.(c) <- Array.make (lines_per_chunk * bitset_words) 0;
+    t.line_chunks <- t.line_chunks + 1
   end
+
+(* Words of backing store currently held by the three line tables —
+   proportional to touched chunks, reported by the scale figure. *)
+let line_table_words t =
+  t.line_chunks * lines_per_chunk * (1 + (2 * bitset_words))
+
+(* Bitset chunk + in-chunk index for [line]'s bit-word [w].  Valid only
+   after [ensure_lines] backed the chunk; all callers run on ensured
+   lines. *)
+let[@inline] bitset_chunk d line =
+  Array.unsafe_get d (line lsr lines_per_chunk_shift)
+
+let[@inline] bitset_ix line w = ((line land line_ix_mask) * bitset_words) + w
 
 (* ---- Conflict-index maintenance ---------------------------------- *)
 
@@ -239,12 +281,13 @@ let ensure_lines t line =
    in its footprint).  Setting a bit bumps [idx_gen] (see the type) and
    raises the scan horizon [nw] when the owner lives in a new-high word. *)
 let note_write t txn line =
-  let ix = (line * bitset_words) + t.tid_word.(txn.owner) in
-  let w = t.line_writers.(ix) in
+  let ch = bitset_chunk t.line_writers line in
+  let ix = bitset_ix line t.tid_word.(txn.owner) in
+  let w = Array.unsafe_get ch ix in
   let m = t.tid_mask.(txn.owner) in
   if w land m = 0 then begin
     Vec.push txn.write_lines line;
-    Array.unsafe_set t.line_writers ix (w lor m);
+    Array.unsafe_set ch ix (w lor m);
     t.idx_gen <- t.idx_gen + 1;
     let hw = Array.unsafe_get t.tid_word txn.owner + 1 in
     if hw > t.nw then t.nw <- hw
@@ -282,12 +325,16 @@ let unindex t txn =
   let tw = t.tid_word.(txn.owner) in
   let tm = lnot t.tid_mask.(txn.owner) in
   for i = 0 to Vec.length txn.read_lines - 1 do
-    let ix = (Vec.get txn.read_lines i * bitset_words) + tw in
-    t.line_readers.(ix) <- t.line_readers.(ix) land tm
+    let line = Vec.get txn.read_lines i in
+    let ch = bitset_chunk t.line_readers line in
+    let ix = bitset_ix line tw in
+    ch.(ix) <- ch.(ix) land tm
   done;
   for i = 0 to Vec.length txn.write_lines - 1 do
-    let ix = (Vec.get txn.write_lines i * bitset_words) + tw in
-    t.line_writers.(ix) <- t.line_writers.(ix) land tm
+    let line = Vec.get txn.write_lines i in
+    let ch = bitset_chunk t.line_writers line in
+    let ix = bitset_ix line tw in
+    ch.(ix) <- ch.(ix) land tm
   done
 
 (* Discard the active transaction and deliver the abort to the caller. *)
@@ -327,12 +374,13 @@ let check_doomed t txn =
    per-line bitset walk); the loop is written without closures because it
    sits on every memory access. *)
 let doom_from t ~me ~line flat =
-  let base = line * bitset_words in
-  (* [base + w] is under [lines_cap * bitset_words] ([ensure_lines] ran);
-     [!other] is only dereferenced on a set bit, and bits are only ever set
-     for registered tids. *)
+  let ch = bitset_chunk flat line in
+  let base = (line land line_ix_mask) * bitset_words in
+  (* [base + w] is inside the chunk ([ensure_lines] backed it); [!other]
+     is only dereferenced on a set bit, and bits are only ever set for
+     registered tids. *)
   for w = 0 to t.nw - 1 do
-    let x = ref (Array.unsafe_get flat (base + w)) in
+    let x = ref (Array.unsafe_get ch (base + w)) in
     if !x <> 0 then begin
       let other = ref (w * bits_per_word) in
       while !x <> 0 do
@@ -437,26 +485,69 @@ let pressure_evict t ~me =
 
 (* Coherence cost of touching [line]: reads miss on remotely-dirty lines
    (dirty-forward + downgrade); writes miss unless this thread already owns
-   the line exclusively. *)
+   the line exclusively.  The [coh_*] verdict cache short-circuits the
+   common case of a thread re-touching the line it just touched (node
+   traversals hit key then next pointer in runs): the cached post-state
+   determines the verdict without reloading the table.  When the cached
+   state carries the dirty bit the owner is necessarily [me] (a remote
+   read would have downgraded it when it was cached), so both a repeat
+   read and a repeat write are free and transition-less; a clean repeat
+   read is likewise free; only a clean->dirty upgrade still pays the miss
+   and stores.  Every branch charges exactly what the uncached computation
+   would, so cycle accounting is byte-identical. *)
 let coherence_cost t ~me ~line ~is_write =
-  (* [st] = owner * 2 + dirty, or -1 when the line was never touched. *)
-  let st = Array.unsafe_get t.line_state line in
-  let extra =
-    if st < 0 then 0
-    else begin
-      let owner = st lsr 1 and dirty = st land 1 = 1 in
-      if is_write then
-        if owner = me && dirty then 0 else (costs t).coherence_miss
-      else if dirty && owner <> me then (costs t).coherence_miss
-      else 0
+  if me = t.coh_tid && line = t.coh_line then begin
+    let st = t.coh_st in
+    if st land 1 = 1 then 0
+    else if is_write then begin
+      let st' = (me lsl 1) lor 1 in
+      Array.unsafe_set
+        (Array.unsafe_get t.line_state (line lsr lines_per_chunk_shift))
+        (line land line_ix_mask) st';
+      t.coh_st <- st';
+      (costs t).coherence_miss
     end
-  in
-  if is_write then Array.unsafe_set t.line_state line ((me lsl 1) lor 1)
-  else if st < 0 || (st land 1 = 1 && st lsr 1 <> me) then
-    (* Never-seen line, or a dirty line downgraded to shared on a remote
-       read; a clean line (or our own dirty line) keeps its state. *)
-    Array.unsafe_set t.line_state line (me lsl 1);
-  extra
+    else 0
+  end
+  else begin
+    let ch = Array.unsafe_get t.line_state (line lsr lines_per_chunk_shift) in
+    let off = line land line_ix_mask in
+    (* [st] = owner * 2 + dirty, or -1 when the line was never touched. *)
+    let st = Array.unsafe_get ch off in
+    let extra =
+      if st < 0 then 0
+      else begin
+        let owner = st lsr 1 and dirty = st land 1 = 1 in
+        if is_write then
+          if owner = me && dirty then 0 else (costs t).coherence_miss
+        else if dirty && owner <> me then (costs t).coherence_miss
+        else 0
+      end
+    in
+    let st' =
+      if is_write then (me lsl 1) lor 1
+      else if st < 0 || (st land 1 = 1 && st lsr 1 <> me) then
+        (* Never-seen line, or a dirty line downgraded to shared on a
+           remote read; a clean line (or our own dirty line) keeps its
+           state. *)
+        me lsl 1
+      else st
+    in
+    if st' <> st then Array.unsafe_set ch off st';
+    t.coh_tid <- me;
+    t.coh_line <- line;
+    t.coh_st <- st';
+    extra
+  end
+
+(* Fused lookup + profiler note: the zero-cost case (by far the common
+   one, and the only case the verdict cache produces on repeats) skips the
+   [Profile.note_coherence] call entirely — [note_coherence] is a no-op on
+   zero cost, so profile totals are unchanged. *)
+let charge_coherence t ~me ~line ~is_write =
+  let miss = coherence_cost t ~me ~line ~is_write in
+  if miss > 0 then Profile.note_coherence (profile t) ~tid:me miss;
+  miss
 
 let effective_ways t =
   let ways = t.cache.Cache.ways - t.cache.Cache.reserved_ways in
@@ -469,14 +560,16 @@ let effective_ways t =
    Semantically [track] followed by [note_read] (resp. [note_write]) —
    including the capacity abort firing before anything is recorded. *)
 (* Unchecked array accesses in the fused paths: [ensure_lines] ran first,
-   so [ix] is under [lines_cap * bitset_words]; [owner] is a registered
+   so the chunk is backed and [ix] is inside it; [owner] is a registered
    tid, under [max_threads]. *)
 let track_note_read t txn line =
-  let ix = (line * bitset_words) + Array.unsafe_get t.tid_word txn.owner in
+  let rch = bitset_chunk t.line_readers line in
+  let ix = bitset_ix line (Array.unsafe_get t.tid_word txn.owner) in
   let m = Array.unsafe_get t.tid_mask txn.owner in
-  let r = Array.unsafe_get t.line_readers ix in
+  let r = Array.unsafe_get rch ix in
   if r land m = 0 then begin
-    if Array.unsafe_get t.line_writers ix land m = 0 then begin
+    if Array.unsafe_get (bitset_chunk t.line_writers line) ix land m = 0
+    then begin
       if t.backend = Htm then begin
         let set = Cache.set_of t.cache line in
         let occ = txn.set_occ.(set) + 1 in
@@ -493,18 +586,20 @@ let track_note_read t txn line =
       Vec.push txn.lines line
     end;
     Vec.push txn.read_lines line;
-    Array.unsafe_set t.line_readers ix (r lor m);
+    Array.unsafe_set rch ix (r lor m);
     t.idx_gen <- t.idx_gen + 1;
     let hw = Array.unsafe_get t.tid_word txn.owner + 1 in
     if hw > t.nw then t.nw <- hw
   end
 
 let track_note_write t txn line =
-  let ix = (line * bitset_words) + Array.unsafe_get t.tid_word txn.owner in
+  let wch = bitset_chunk t.line_writers line in
+  let ix = bitset_ix line (Array.unsafe_get t.tid_word txn.owner) in
   let m = Array.unsafe_get t.tid_mask txn.owner in
-  let w = Array.unsafe_get t.line_writers ix in
+  let w = Array.unsafe_get wch ix in
   if w land m = 0 then begin
-    if Array.unsafe_get t.line_readers ix land m = 0 then begin
+    if Array.unsafe_get (bitset_chunk t.line_readers line) ix land m = 0
+    then begin
       if t.backend = Htm then begin
         let set = Cache.set_of t.cache line in
         let occ = txn.set_occ.(set) + 1 in
@@ -521,7 +616,7 @@ let track_note_write t txn line =
       Vec.push txn.lines line
     end;
     Vec.push txn.write_lines line;
-    Array.unsafe_set t.line_writers ix (w lor m);
+    Array.unsafe_set wch ix (w lor m);
     t.idx_gen <- t.idx_gen + 1;
     let hw = Array.unsafe_get t.tid_word txn.owner + 1 in
     if hw > t.nw then t.nw <- hw
@@ -620,8 +715,7 @@ let txn_read t txn addr =
     if i >= 0 then Vec.get txn.w_val i
     else Heap.read t.heap ~tid:txn.owner addr
   in
-  let miss = coherence_cost t ~me:txn.owner ~line ~is_write:false in
-  Profile.note_coherence (profile t) ~tid:txn.owner miss;
+  let miss = charge_coherence t ~me:txn.owner ~line ~is_write:false in
   (* STM pays instrumentation on every shared read (version load +
      read-set bookkeeping). *)
   let instr = if t.backend = Stm then (costs t).load + (costs t).store else 0 in
@@ -647,8 +741,7 @@ let txn_write t txn addr v =
   | Htm -> doom_conflicting t ~me:txn.owner ~line ~against_readers:true
   | Stm -> stm_note_read t txn line);
   txn_buffer_write txn addr v;
-  let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
-  Profile.note_coherence (profile t) ~tid:txn.owner miss;
+  let miss = charge_coherence t ~me:txn.owner ~line ~is_write:true in
   let instr = if t.backend = Stm then (costs t).store else 0 in
   Sched.consume t.sched ((costs t).store + miss + instr)
 
@@ -727,8 +820,7 @@ let nt_read t addr =
       Heatmap.touch t.heatmap line;
       doom_conflicting t ~me ~line ~against_readers:false;
       let v = Heap.read t.heap ~tid:me addr in
-      let miss = coherence_cost t ~me ~line ~is_write:false in
-      Profile.note_coherence (profile t) ~tid:me miss;
+      let miss = charge_coherence t ~me ~line ~is_write:false in
       Sched.consume t.sched ((costs t).load + miss);
       v
 
@@ -747,8 +839,7 @@ let nt_write t addr v =
         t.stm_clock <- t.stm_clock + 1;
         bump_line_version t line
       end;
-      let miss = coherence_cost t ~me ~line ~is_write:true in
-      Profile.note_coherence (profile t) ~tid:me miss;
+      let miss = charge_coherence t ~me ~line ~is_write:true in
       Sched.consume t.sched ((costs t).store + miss)
 
 let nt_cas t addr ~expect desired =
@@ -781,8 +872,7 @@ let nt_cas t addr ~expect desired =
       (* And it pays coherence like the non-transactional branch: a CAS to
          a remotely-owned line must not be cheaper than a plain
          transactional write to it. *)
-      let miss = coherence_cost t ~me:txn.owner ~line ~is_write:ok in
-      Profile.note_coherence (profile t) ~tid:txn.owner miss;
+      let miss = charge_coherence t ~me:txn.owner ~line ~is_write:ok in
       Sched.consume t.sched ((costs t).cas + miss);
       ok
   | None ->
@@ -805,8 +895,7 @@ let nt_cas t addr ~expect desired =
           bump_line_version t line
         end
       end;
-      let miss = coherence_cost t ~me ~line ~is_write:ok in
-      Profile.note_coherence (profile t) ~tid:me miss;
+      let miss = charge_coherence t ~me ~line ~is_write:ok in
       Sched.consume t.sched ((costs t).cas + miss);
       ok
 
@@ -829,8 +918,7 @@ let nt_fetch_add t addr delta =
         else Heap.read t.heap ~tid:txn.owner addr
       in
       txn_buffer_write txn addr (cur + delta);
-      let miss = coherence_cost t ~me:txn.owner ~line ~is_write:true in
-      Profile.note_coherence (profile t) ~tid:txn.owner miss;
+      let miss = charge_coherence t ~me:txn.owner ~line ~is_write:true in
       Sched.consume t.sched ((costs t).fetch_add + miss);
       cur
   | None ->
@@ -845,8 +933,7 @@ let nt_fetch_add t addr delta =
         t.stm_clock <- t.stm_clock + 1;
         bump_line_version t line
       end;
-      let miss = coherence_cost t ~me ~line ~is_write:true in
-      Profile.note_coherence (profile t) ~tid:me miss;
+      let miss = charge_coherence t ~me ~line ~is_write:true in
       Sched.consume t.sched ((costs t).fetch_add + miss);
       cur
 

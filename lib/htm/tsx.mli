@@ -129,3 +129,9 @@ val forensics : t -> Forensics.t
 
 val stats : t -> tid:int -> Htm_stats.t
 val total_stats : t -> Htm_stats.t
+
+val line_table_words : t -> int
+(** Words of backing store currently held by the per-line coherence-state
+    and conflict-bitset tables.  The tables are chunk directories allocated
+    on first touch, so this tracks the touched address space (the scale
+    figure reports it alongside the heap's resident words). *)

@@ -108,5 +108,20 @@ val words_in_use : t -> int
 val quarantined : t -> int
 (** Freed blocks currently held in the reuse quarantine. *)
 
+val chunk_words : int
+(** Words per backing-store chunk (a power of two).  The per-address tables
+    are chunk directories grown on demand, so resident memory tracks the
+    touched address space in [chunk_words] granules instead of doubling
+    dense arrays. *)
+
+val touched_chunks : t -> int
+(** Chunks currently backed in each per-address table. *)
+
+val resident_words : t -> int
+(** Total words of backing store held across the four per-address tables
+    ([4 * touched_chunks * chunk_words]) — the resident-footprint number
+    the scale figure reports, as opposed to {!words_in_use} which counts
+    only words inside live objects. *)
+
 val poison : Word.value
 (** The pattern written into freed words. *)

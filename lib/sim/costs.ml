@@ -37,4 +37,4 @@ let default =
     coherence_miss = 70;
   }
 
-let scaled _t ~num ~den c = c * num / den
+let scaled ~num ~den c = c * num / den

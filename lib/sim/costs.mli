@@ -32,6 +32,8 @@ type t = {
 
 val default : t
 
-val scaled : t -> num:int -> den:int -> int -> int
-(** [scaled t ~num ~den c] is [c * num / den], used for the hyperthreading
-    slowdown multiplier. *)
+val scaled : num:int -> den:int -> int -> int
+(** [scaled ~num ~den c] is [c * num / den] — the rational cycle-scaling
+    helper (e.g. a hyperthreading slowdown multiplier).  It needs nothing
+    from a cost table, so it takes none; [Sched.penalize] strength-reduces
+    its own division inline rather than calling this. *)

@@ -210,6 +210,335 @@ let prop_reuse_same_size =
       Heap.free h ~tid:0 a;
       Heap.alloc h ~tid:0 ~size = a)
 
+(* ------------------------------------------------------------------ *)
+(* Chunked heap vs dense oracle                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference allocator: the pre-chunking dense-array implementation of the
+   heap, ported verbatim (minus shadow/lifecycle wiring — violations are
+   counted inline).  The production heap's chunk directory and segregated
+   size-class free lists must be observationally identical to it: same
+   alloc addresses, same LIFO reuse and quarantine order, same birth
+   indices, same poison fills, same violation verdicts. *)
+module Dense_oracle = struct
+  module Vec = St_sim.Vec
+
+  type t = {
+    mutable words : int array;
+    mutable owner : int array;
+    mutable obj_size : int array;
+    mutable birth : int array;
+    mutable next_birth : int;
+    mutable brk : int;
+    free_lists : (int, int Vec.t) Hashtbl.t;
+    q_addr : int array;
+    q_size : int array;
+    mutable q_head : int;
+    mutable q_len : int;
+    quarantine_max : int;
+    align : int;
+    mutable allocs : int;
+    mutable frees : int;
+    mutable live : int;
+    mutable peak : int;
+    mutable words_live : int;
+    mutable bad_frees : int;
+    mutable double_frees : int;
+    mutable uaf_reads : int;
+    mutable uaf_writes : int;
+  }
+
+  let create ?(initial_words = 1 lsl 16) ?(quarantine = 128) ?(align = 4) () =
+    let cap = max initial_words (Word.heap_base * 2) in
+    {
+      align;
+      words = Array.make cap 0;
+      owner = Array.make cap 0;
+      obj_size = Array.make cap 0;
+      birth = Array.make cap 0;
+      next_birth = 0;
+      brk = Word.heap_base;
+      free_lists = Hashtbl.create 8;
+      q_addr = Array.make (quarantine + 1) 0;
+      q_size = Array.make (quarantine + 1) 0;
+      q_head = 0;
+      q_len = 0;
+      quarantine_max = quarantine;
+      allocs = 0;
+      frees = 0;
+      live = 0;
+      peak = 0;
+      words_live = 0;
+      bad_frees = 0;
+      double_frees = 0;
+      uaf_reads = 0;
+      uaf_writes = 0;
+    }
+
+  let ensure_capacity t needed =
+    let cap = Array.length t.words in
+    if needed > cap then begin
+      let cap' = ref cap in
+      while needed > !cap' do
+        cap' := !cap' * 2
+      done;
+      let grow a =
+        let a' = Array.make !cap' 0 in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      t.words <- grow t.words;
+      t.owner <- grow t.owner;
+      t.obj_size <- grow t.obj_size;
+      t.birth <- grow t.birth
+    end
+
+  let in_heap t addr = addr >= Word.heap_base && addr < t.brk
+
+  let claim t base size =
+    for i = base to base + size - 1 do
+      t.owner.(i) <- base;
+      t.words.(i) <- 0
+    done;
+    t.obj_size.(base) <- size;
+    t.birth.(base) <- t.next_birth + 1;
+    t.next_birth <- t.next_birth + 1;
+    t.allocs <- t.allocs + 1;
+    t.live <- t.live + 1;
+    if t.live > t.peak then t.peak <- t.live;
+    t.words_live <- t.words_live + size
+
+  let effective_align t = max 2 t.align
+
+  let chunk_size t size =
+    let a = effective_align t in
+    (size + a - 1) / a * a
+
+  let free_list t size =
+    match Hashtbl.find t.free_lists size with
+    | v -> v
+    | exception Not_found ->
+        let v = Vec.create () in
+        Hashtbl.add t.free_lists size v;
+        v
+
+  let alloc t ~size =
+    let size = chunk_size t size in
+    let fl = free_list t size in
+    let base =
+      let n = Vec.length fl in
+      if n > 0 then begin
+        let base = Vec.get fl (n - 1) in
+        Vec.truncate fl (n - 1);
+        base
+      end
+      else begin
+        let a = effective_align t in
+        let base = (t.brk + a - 1) / a * a in
+        ensure_capacity t (base + size + 1);
+        t.brk <- base + size;
+        base
+      end
+    in
+    claim t base size;
+    base
+
+  let is_allocated t addr = in_heap t addr && t.owner.(addr) = addr
+  let owner_of t v = if in_heap t v then t.owner.(v) else 0
+  let birth_ix t addr = if is_allocated t addr then t.birth.(addr) else 0
+
+  let free t addr =
+    if not (in_heap t addr) then t.bad_frees <- t.bad_frees + 1
+    else if t.owner.(addr) <> addr then
+      if t.obj_size.(addr) > 0 && t.owner.(addr) = 0 then
+        t.double_frees <- t.double_frees + 1
+      else t.bad_frees <- t.bad_frees + 1
+    else begin
+      let size = t.obj_size.(addr) in
+      for i = addr to addr + size - 1 do
+        t.owner.(i) <- 0;
+        t.words.(i) <- Heap.poison
+      done;
+      t.frees <- t.frees + 1;
+      t.live <- t.live - 1;
+      t.words_live <- t.words_live - size;
+      let cap = Array.length t.q_addr in
+      let slot = (t.q_head + t.q_len) mod cap in
+      t.q_addr.(slot) <- addr;
+      t.q_size.(slot) <- size;
+      t.q_len <- t.q_len + 1;
+      if t.q_len > t.quarantine_max then begin
+        let old_addr = t.q_addr.(t.q_head) in
+        let old_size = t.q_size.(t.q_head) in
+        t.q_head <- (t.q_head + 1) mod cap;
+        t.q_len <- t.q_len - 1;
+        Vec.push (free_list t old_size) old_addr
+      end
+    end
+
+  let read t addr =
+    if in_heap t addr && t.owner.(addr) <> 0 then t.words.(addr)
+    else begin
+      t.uaf_reads <- t.uaf_reads + 1;
+      if addr >= 0 && addr < Array.length t.words then t.words.(addr)
+      else Heap.poison
+    end
+
+  let write t addr v =
+    if in_heap t addr && t.owner.(addr) <> 0 then t.words.(addr) <- v
+    else begin
+      t.uaf_writes <- t.uaf_writes + 1;
+      if addr >= 0 && addr < Array.length t.words then t.words.(addr) <- v
+    end
+end
+
+(* One randomized trace: mixed allocs (random sizes), frees of live bases,
+   violating frees, writes, and reads of both live and stale addresses,
+   driven by one seeded RNG feeding heap and oracle the same choices.  The
+   trace is long enough (with [heavy]) to push [brk] across several 2^16
+   chunk boundaries, so boundary-straddling objects and on-demand chunk
+   allocation are exercised, then heap and oracle are compared word by
+   word over the touched address space. *)
+let run_oracle_trace ~seed ~quarantine ~align ~steps =
+  let rng = Random.State.make [| seed |] in
+  let shadow = Shadow.create () in
+  let h = Heap.create ~quarantine ~align ~shadow () in
+  let o = Dense_oracle.create ~quarantine ~align () in
+  let live = ref [] in
+  let n_live = ref 0 in
+  let pick_live () =
+    let i = Random.State.int rng !n_live in
+    List.nth !live i
+  in
+  for _ = 1 to steps do
+    let r = Random.State.int rng 100 in
+    if r < 50 || !n_live = 0 then begin
+      let size = 1 + Random.State.int rng 48 in
+      let a = Heap.alloc h ~tid:0 ~size in
+      let a' = Dense_oracle.alloc o ~size in
+      if a <> a' then
+        Alcotest.failf "alloc address diverged: heap=%d oracle=%d" a a';
+      live := a :: !live;
+      incr n_live
+    end
+    else if r < 78 then begin
+      let a = pick_live () in
+      Heap.free h ~tid:0 a;
+      Dense_oracle.free o a;
+      live := List.filter (fun x -> x <> a) !live;
+      decr n_live
+    end
+    else if r < 84 then begin
+      (* Wild free: usually an interior pointer, dead base, or out-of-range
+         address; when it happens to hit a live base it is a legitimate
+         free on both sides, so the live list must drop it. *)
+      let a = Random.State.int rng (o.Dense_oracle.brk + 64) in
+      let was_live = Dense_oracle.is_allocated o a in
+      Heap.free h ~tid:0 a;
+      Dense_oracle.free o a;
+      if was_live then begin
+        live := List.filter (fun x -> x <> a) !live;
+        decr n_live
+      end
+    end
+    else if r < 90 then begin
+      (* Interior writes at offset <= 1: every object spans >= 2 words
+         (effective alignment), so the target stays below [brk] — the
+         debugging-only fallback window beyond [brk] is the one spot where
+         chunk-rounded and doubled-dense bounds legitimately differ. *)
+      let a = pick_live () in
+      let off = Random.State.int rng 2 in
+      let v = Random.State.int rng 1_000_000 in
+      Heap.write h ~tid:0 (a + off) v;
+      Dense_oracle.write o (a + off) v
+    end
+    else if r < 94 then begin
+      (* Wild writes below [brk]: hits dead (poisoned) words or other live
+         objects, exercising the write-after-free path on both sides. *)
+      let a = Random.State.int rng o.Dense_oracle.brk in
+      let v = Random.State.int rng 1_000_000 in
+      Heap.write h ~tid:0 a v;
+      Dense_oracle.write o a v
+    end
+    else begin
+      (* Reads over all of [0, brk): live words, poisoned dead words, and
+         the below-heap-base violation path. *)
+      let a = Random.State.int rng o.Dense_oracle.brk in
+      let v = Heap.read h ~tid:0 a in
+      let v' = Dense_oracle.read o a in
+      if v <> v' then Alcotest.failf "read diverged at %d: %d vs %d" a v v'
+    end
+  done;
+  (* Full-state comparison over the touched address space. *)
+  let brk = o.Dense_oracle.brk in
+  for addr = 0 to brk - 1 do
+    let ow = Heap.owner_of h addr and ow' = Dense_oracle.owner_of o addr in
+    if ow <> ow' then
+      Alcotest.failf "owner diverged at %d: %d vs %d" addr ow ow';
+    let w = Heap.peek h addr in
+    let w' = o.Dense_oracle.words.(addr) in
+    if w <> w' then Alcotest.failf "word diverged at %d: %d vs %d" addr w w'
+  done;
+  List.iter
+    (fun a ->
+      checki "birth index" (Dense_oracle.birth_ix o a) (Heap.birth_ix h a))
+    !live;
+  checki "allocs" o.Dense_oracle.allocs (Heap.allocs h);
+  checki "frees" o.Dense_oracle.frees (Heap.frees h);
+  checki "live" o.Dense_oracle.live (Heap.live_objects h);
+  checki "peak" o.Dense_oracle.peak (Heap.peak_live h);
+  checki "words in use" o.Dense_oracle.words_live (Heap.words_in_use h);
+  checki "quarantined" o.Dense_oracle.q_len (Heap.quarantined h);
+  checki "bad frees" o.Dense_oracle.bad_frees
+    (Shadow.count_kind shadow Shadow.Bad_free);
+  checki "double frees" o.Dense_oracle.double_frees
+    (Shadow.count_kind shadow Shadow.Double_free);
+  checki "uaf reads" o.Dense_oracle.uaf_reads
+    (Shadow.count_kind shadow Shadow.Read_after_free);
+  checki "uaf writes" o.Dense_oracle.uaf_writes
+    (Shadow.count_kind shadow Shadow.Write_after_free);
+  (* Resident backing store is proportional to the touched chunks: exactly
+     the chunks covering [brk], times the four per-address tables. *)
+  let chunks = (brk + Heap.chunk_words - 1) / Heap.chunk_words in
+  checki "resident words track touched chunks"
+    (4 * chunks * Heap.chunk_words)
+    (Heap.resident_words h);
+  true
+
+let prop_oracle_small =
+  QCheck.Test.make ~name:"chunked heap == dense oracle (mixed geometry)"
+    ~count:12
+    QCheck.(pair (int_bound 1_000_000) (pair (int_bound 2) (int_bound 1)))
+    (fun (seed, (q_sel, a_sel)) ->
+      let quarantine = [| 0; 3; 128 |].(q_sel) in
+      let align = [| 1; 4 |].(a_sel) in
+      run_oracle_trace ~seed ~quarantine ~align ~steps:2_000)
+
+let test_oracle_heavy () =
+  (* One long trace: ~50K ops pushes brk across multiple chunk boundaries
+     (several hundred K words), covering boundary-straddling objects,
+     directory growth, and deep free-list recycling. *)
+  ignore (run_oracle_trace ~seed:0xC0FFEE ~quarantine:128 ~align:4 ~steps:50_000)
+
+let test_freelist_alloc_budget () =
+  (* The recycling path (size-class hit -> LIFO pop -> claim; free -> poison
+     -> quarantine push) must not touch the OCaml minor heap at all: it runs
+     under every simulated reclamation. *)
+  let h = mk ~quarantine:0 ~align:4 () in
+  for _ = 1 to 100 do
+    let a = Heap.alloc h ~tid:0 ~size:8 in
+    Heap.free h ~tid:0 a
+  done;
+  let n = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    let a = Heap.alloc h ~tid:0 ~size:8 in
+    Heap.free h ~tid:0 a
+  done;
+  let per_op = (Gc.minor_words () -. w0) /. float_of_int n in
+  if per_op > 0.001 then
+    Alcotest.failf "free-list alloc/free path allocates %.4f words/op" per_op
+
 let () =
   Alcotest.run "st_mem"
     [
@@ -228,6 +557,10 @@ let () =
           Alcotest.test_case "quarantine delays reuse" `Quick
             test_quarantine_delays_reuse;
           Alcotest.test_case "alignment" `Quick test_alignment_rounds_sizes;
+          Alcotest.test_case "dense oracle, multi-chunk trace" `Quick
+            test_oracle_heavy;
+          Alcotest.test_case "free-list path allocates nothing" `Quick
+            test_freelist_alloc_budget;
         ] );
       ( "shadow",
         [
@@ -242,5 +575,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_no_overlap;
           QCheck_alcotest.to_alcotest prop_reuse_same_size;
+          QCheck_alcotest.to_alcotest prop_oracle_small;
         ] );
     ]
